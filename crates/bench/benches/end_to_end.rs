@@ -1,0 +1,68 @@
+//! Figure-8-flavour end-to-end benches plus scheduler scaling.
+//!
+//! * `fig8_sim`: schedule + simulate Q95 with Ditto vs NIMBLE under
+//!   Zipf-0.9 (the simulated-JCT numbers themselves come from the
+//!   `figures` binary; this measures the harness cost).
+//! * `scheduler_scaling`: Ditto's scheduling time over random DAGs of
+//!   growing size — the §4.4 complexity claim (pseudo-polynomial in the
+//!   DAG, independent of slot counts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ditto_bench::setup::{default_testbed, prepare};
+use ditto_cluster::ResourceManager;
+use ditto_core::baselines::NimbleScheduler;
+use ditto_core::{DittoScheduler, Objective, Scheduler, SchedulingContext};
+use ditto_dag::generators::{random_dag, RandomDagConfig};
+use ditto_exec::simulate;
+use ditto_sql::queries::Query;
+use ditto_storage::Medium;
+use ditto_timemodel::model::RateConfig;
+use ditto_timemodel::JobTimeModel;
+use std::hint::black_box;
+
+fn fig8_sim(c: &mut Criterion) {
+    let p = prepare(Query::Q95, Medium::S3);
+    let rm = default_testbed();
+    let mut group = c.benchmark_group("fig8_q95_schedule_and_simulate");
+    let schedulers: [(&str, &dyn Scheduler); 2] = [
+        ("ditto", &DittoScheduler::new()),
+        ("nimble", &NimbleScheduler::default()),
+    ];
+    for (name, s) in schedulers {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let schedule = p.schedule(s, &rm, Objective::Jct);
+                black_box(simulate(&p.plan.dag, &schedule, &p.gt))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn scheduler_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_scaling_random_dags");
+    for stages in [8usize, 16, 32, 64] {
+        let cfg = RandomDagConfig {
+            stages,
+            layers: (stages / 4).max(2),
+            ..Default::default()
+        };
+        let dag = random_dag(42, &cfg);
+        let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+        let rm = ResourceManager::from_free_slots(vec![96; 8]);
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &dag, |b, dag| {
+            b.iter(|| {
+                black_box(DittoScheduler::new().schedule(&SchedulingContext {
+                    dag,
+                    model: &model,
+                    resources: &rm,
+                    objective: Objective::Jct,
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8_sim, scheduler_scaling);
+criterion_main!(benches);

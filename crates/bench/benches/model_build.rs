@@ -1,0 +1,31 @@
+//! Table 2: execution-time-model building overhead per query.
+//!
+//! The paper reports 194–216 ms per query (profiles at five DoPs,
+//! least-squares fit per fine-grained step). This bench measures the fit
+//! itself (the paper's number includes profile collection I/O that a
+//! simulation doesn't pay, so absolute values here are much smaller).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ditto_exec::profile::profile_job;
+use ditto_exec::{ExecConfig, GroundTruth};
+use ditto_sql::queries::Query;
+use ditto_sql::{Database, ScaleConfig};
+use std::hint::black_box;
+
+fn model_build(c: &mut Criterion) {
+    let db = Database::generate(ScaleConfig::with_sf(0.5));
+    let gt = GroundTruth::new(ExecConfig::default());
+    let mut group = c.benchmark_group("table2_model_building");
+    for q in Query::all() {
+        let mut plan = q.prepared_plan(&db);
+        plan.scale_volumes(ditto_bench::VOLUME_SCALE);
+        let profile = profile_job(&plan.dag, &gt, &[10, 20, 40, 80, 120]);
+        group.bench_with_input(BenchmarkId::from_parameter(q.name()), &profile, |b, p| {
+            b.iter(|| black_box(p.build_model(&plan.dag)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, model_build);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table 1: Ditto's scheduling overhead per query and slot usage.
+//!
+//! The paper reports 169–264 µs across Q1/Q16/Q94/Q95 at 25–100 % slot
+//! usage, roughly flat in the usage because the complexity depends on the
+//! DAG, not the slot count. This bench measures the same grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ditto_bench::setup::{prepare, testbed};
+use ditto_cluster::SlotDistribution;
+use ditto_core::{DittoScheduler, Objective};
+use ditto_sql::queries::Query;
+use ditto_storage::Medium;
+use std::hint::black_box;
+
+fn scheduler_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_scheduling_time");
+    for q in Query::all() {
+        let p = prepare(q, Medium::S3);
+        for usage in [0.25, 0.5, 0.75, 1.0] {
+            let rm = testbed(&SlotDistribution::Uniform { usage });
+            group.bench_with_input(
+                BenchmarkId::new(q.name(), format!("{}%", (usage * 100.0) as u32)),
+                &rm,
+                |b, rm| {
+                    b.iter(|| {
+                        black_box(p.schedule(&DittoScheduler::new(), rm, Objective::Jct))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scheduler_overhead);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p ditto-bench --bin figures -- all
+//! cargo run --release -p ditto-bench --bin figures -- fig8a fig12 table1
+//! cargo run --release -p ditto-bench --bin figures -- --json fig8a
+//! ```
+
+use ditto_bench::{render_rows, write_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let all = [
+        "fig1", "fig2", "fig4", "fig5", "fig8a", "fig8b", "fig8c", "fig9a", "fig9b", "fig9c",
+        "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table1", "table2", "ablations",
+        "multi", "deadline", "export",
+    ];
+    let targets: Vec<&str> = if wanted.is_empty() || wanted.contains(&"all") {
+        all.to_vec()
+    } else {
+        wanted
+    };
+
+    for t in targets {
+        println!("==================== {t} ====================");
+        match t {
+            "fig1" => emit(&ditto_bench::fig1(), json),
+            "fig2" => emit(&ditto_bench::fig2(), json),
+            "fig4" => emit(&ditto_bench::fig4(), json),
+            "fig5" => emit(&ditto_bench::fig5(), json),
+            "fig8a" => emit(&ditto_bench::fig8a(), json),
+            "fig8b" => emit(&ditto_bench::fig8b(), json),
+            "fig8c" => emit(&ditto_bench::fig8c(), json),
+            "fig9a" => emit(&ditto_bench::fig9a(), json),
+            "fig9b" => emit(&ditto_bench::fig9b(), json),
+            "fig9c" => emit(&ditto_bench::fig9c(), json),
+            "fig10" => {
+                let (jct, cost) = ditto_bench::fig10();
+                println!("--- JCT ---");
+                emit(&jct, json);
+                println!("--- cost ---");
+                emit(&cost, json);
+            }
+            "fig11" => emit(&ditto_bench::fig11(), json),
+            "fig12" => {
+                let (jct, cost) = ditto_bench::fig12();
+                println!("--- JCT ---");
+                emit(&jct, json);
+                println!("--- cost ---");
+                emit(&cost, json);
+            }
+            "fig13" => {
+                // The Q95 DAG structure is data, not a measurement.
+                let plan = ditto_sql::queries::Query::Q95.plan();
+                println!("{}", plan.dag.describe());
+            }
+            "fig14" => emit(&ditto_bench::fig14(), json),
+            "fig15" => {
+                let out = ditto_bench::fig15();
+                println!(
+                    "fixed JCT = {:.1}s (dop {:?})",
+                    out.fixed_jct, out.fixed_dop
+                );
+                println!("{}", out.fixed_gantt);
+                println!(
+                    "elastic JCT = {:.1}s (dop {:?})",
+                    out.elastic_jct, out.elastic_dop
+                );
+                println!("{}", out.elastic_gantt);
+            }
+            "table1" => emit(&ditto_bench::table1(9), json),
+            "table2" => emit(&ditto_bench::table2(), json),
+            "ablations" => emit(&ditto_bench::all_ablations(), json),
+            "multi" => emit(&ditto_bench::multi_job(), json),
+            "deadline" => emit(&ditto_bench::deadline_sweep(), json),
+            "export" => {
+                // Artifacts: the Ditto-scheduled Q95 DAG as Graphviz DOT
+                // (groups colored) and its simulated trace as a Chrome
+                // Trace Event file, written next to the binary's cwd.
+                use ditto_core::{DittoScheduler, Objective};
+                let p = ditto_bench::prepare(
+                    ditto_sql::queries::Query::Q95,
+                    ditto_storage::Medium::S3,
+                );
+                let rm = ditto_bench::setup::default_testbed();
+                let schedule = p.schedule(&DittoScheduler::new(), &rm, Objective::Jct);
+                let dot =
+                    ditto_dag::export::to_dot_grouped(&p.plan.dag, &schedule.group_of, &schedule.dop);
+                std::fs::write("q95_schedule.dot", &dot).expect("write dot");
+                let (trace, m) = ditto_exec::simulate(&p.plan.dag, &schedule, &p.gt);
+                std::fs::write("q95_trace.json", trace.to_chrome_trace()).expect("write trace");
+                println!(
+                    "wrote q95_schedule.dot ({} bytes) and q95_trace.json ({} events, JCT {:.1}s)",
+                    dot.len(),
+                    trace.tasks.len() * 4,
+                    m.jct
+                );
+                println!("render: dot -Tsvg q95_schedule.dot -o q95.svg");
+                println!("view trace: load q95_trace.json in https://ui.perfetto.dev");
+            }
+            other => eprintln!("unknown target {other:?}; known: {all:?}"),
+        }
+    }
+}
+
+fn emit<T: serde::Serialize>(rows: &[T], json: bool) {
+    if json {
+        println!("{}", write_json(rows));
+    } else {
+        print!("{}", render_rows(rows));
+    }
+}

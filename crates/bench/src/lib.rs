@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # ditto-bench — the evaluation harness
+//!
+//! One function per table and figure of the paper's §6, all built on the
+//! same pipeline ([`setup`]):
+//!
+//! 1. generate the synthetic TPC-DS-like database,
+//! 2. lower and *measure* the query plan (laptop-scale volumes), then
+//!    scale volumes to paper magnitudes,
+//! 3. profile the job against the ground truth at five DoPs and fit the
+//!    execution-time model (the scheduler never sees the ground truth
+//!    directly — only this honest fit, as in the paper),
+//! 4. schedule with Ditto and the baselines, simulate, and report.
+//!
+//! The `figures` binary renders any experiment as an ASCII table and JSON;
+//! the Criterion benches measure scheduling and model-building overhead
+//! (Tables 1 and 2).
+
+pub mod ablations;
+pub mod experiments;
+pub mod report;
+pub mod setup;
+
+pub use ablations::all_ablations;
+pub use experiments::*;
+pub use report::{render_rows, write_json};
+pub use setup::{prepare, PreparedQuery, VOLUME_SCALE};

@@ -1,0 +1,120 @@
+//! Rendering experiment results: ASCII tables and JSON artifacts.
+
+use serde::Serialize;
+
+/// Render serializable rows as a fixed-width ASCII table. Rows must
+/// serialize to JSON objects with scalar fields.
+pub fn render_rows<T: Serialize>(rows: &[T]) -> String {
+    let values: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|r| serde_json::to_value(r).expect("rows are serializable"))
+        .collect();
+    let Some(first) = values.first() else {
+        return "(no rows)\n".to_string();
+    };
+    let headers: Vec<String> = first
+        .as_object()
+        .expect("row is an object")
+        .keys()
+        .cloned()
+        .collect();
+
+    let fmt_cell = |v: &serde_json::Value| -> String {
+        match v {
+            serde_json::Value::Number(n) => {
+                if let Some(f) = n.as_f64() {
+                    if n.is_f64() {
+                        format!("{f:.3}")
+                    } else {
+                        n.to_string()
+                    }
+                } else {
+                    n.to_string()
+                }
+            }
+            serde_json::Value::String(s) => s.clone(),
+            other => other.to_string(),
+        }
+    };
+
+    let mut table: Vec<Vec<String>> = vec![headers.clone()];
+    for v in &values {
+        let obj = v.as_object().expect("row is an object");
+        table.push(headers.iter().map(|h| fmt_cell(&obj[h])).collect());
+    }
+    let widths: Vec<usize> = (0..headers.len())
+        .map(|c| table.iter().map(|r| r[c].len()).max().unwrap_or(0))
+        .collect();
+
+    let mut out = String::new();
+    for (i, row) in table.iter().enumerate() {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(cell, w)| format!("{cell:>w$}"))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+        if i == 0 {
+            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Serialize rows to pretty JSON (for EXPERIMENTS.md artifacts).
+pub fn write_json<T: Serialize>(rows: &[T]) -> String {
+    serde_json::to_string_pretty(rows).expect("rows are serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Row {
+        name: String,
+        jct: f64,
+        slots: u32,
+    }
+
+    #[test]
+    fn renders_aligned_table() {
+        let rows = vec![
+            Row {
+                name: "ditto".into(),
+                jct: 12.3456,
+                slots: 283,
+            },
+            Row {
+                name: "nimble".into(),
+                jct: 101.5,
+                slots: 283,
+            },
+        ];
+        let t = render_rows(&rows);
+        assert!(t.contains("name"));
+        assert!(t.contains("12.346"));
+        assert!(t.contains("nimble"));
+        assert!(t.lines().count() >= 4);
+    }
+
+    #[test]
+    fn empty_rows_ok() {
+        let t = render_rows::<Row>(&[]);
+        assert!(t.contains("no rows"));
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let rows = vec![Row {
+            name: "x".into(),
+            jct: 1.0,
+            slots: 1,
+        }];
+        let j = write_json(&rows);
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v[0]["name"], "x");
+    }
+}

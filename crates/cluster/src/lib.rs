@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # ditto-cluster — simulated function-server cluster
+//!
+//! The paper's testbed is eight 96-vCPU servers, each hosting a bounded
+//! number of single-core *function slots*; the control plane sees only the
+//! per-server free-slot counts. This crate reproduces that resource surface:
+//!
+//! * [`Server`] / [`Cluster`] — slot accounting with reserve/release;
+//! * [`SlotDistribution`] — the §6.1 availability patterns: uniform slot
+//!   usage (100–25 %), `Norm-1.0`/`Norm-0.8` and `Zipf-0.9`/`Zipf-0.99`
+//!   per-server slot ratios;
+//! * [`ResourceManager`] — snapshot + transactional allocation used by the
+//!   scheduler's placement check;
+//! * [`RuntimeMonitor`] — per-task runtime statistics collection (the
+//!   paper's per-server runtime monitor), feeding profiles back into the
+//!   execution-time model.
+
+pub mod cluster;
+pub mod distribution;
+pub mod manager;
+pub mod monitor;
+pub mod server;
+
+pub use cluster::Cluster;
+pub use distribution::SlotDistribution;
+pub use manager::ResourceManager;
+pub use monitor::{RuntimeMonitor, TaskRecord};
+pub use server::{Server, ServerId};

@@ -1,0 +1,201 @@
+//! Runtime monitor: per-task statistics collection (paper §3).
+//!
+//! Each server in the paper hosts a runtime monitor tracking statistics and
+//! results of every function execution; those records feed the recurring-job
+//! profiles that the execution-time model is fitted from. Here a single
+//! [`RuntimeMonitor`] aggregates records for the whole (simulated) cluster;
+//! it is `Sync` so the multi-threaded local runtime in `ditto-exec` can
+//! report from worker threads.
+
+use crate::server::ServerId;
+use parking_lot::Mutex;
+
+/// One completed task execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskRecord {
+    /// Stage index within the job (matches `StageId` downstream).
+    pub stage: u32,
+    /// Task index within the stage, `0..dop`.
+    pub task: u32,
+    /// Server the task ran on.
+    pub server: ServerId,
+    /// Launch time, seconds since job start.
+    pub start: f64,
+    /// Completion time, seconds since job start.
+    pub end: f64,
+    /// Time spent in the read step, seconds.
+    pub read_secs: f64,
+    /// Time spent in the compute step, seconds.
+    pub compute_secs: f64,
+    /// Time spent in the write step, seconds.
+    pub write_secs: f64,
+    /// Bytes read (external + intermediate).
+    pub bytes_read: u64,
+    /// Bytes written (external + intermediate).
+    pub bytes_written: u64,
+}
+
+impl TaskRecord {
+    /// Wall-clock duration of the task.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Per-stage aggregate over the collected records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageStats {
+    /// Number of tasks recorded.
+    pub tasks: u32,
+    /// Mean task duration, seconds.
+    pub mean_duration: f64,
+    /// Max task duration, seconds (the straggler).
+    pub max_duration: f64,
+    /// Earliest task start.
+    pub first_start: f64,
+    /// Latest task end — the stage completion time.
+    pub last_end: f64,
+    /// Mean per-step durations `(read, compute, write)`.
+    pub mean_steps: (f64, f64, f64),
+}
+
+/// Thread-safe collector of [`TaskRecord`]s.
+#[derive(Debug, Default)]
+pub struct RuntimeMonitor {
+    records: Mutex<Vec<TaskRecord>>,
+}
+
+impl RuntimeMonitor {
+    /// New empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a completed task.
+    pub fn record(&self, r: TaskRecord) {
+        self.records.lock().push(r);
+    }
+
+    /// Number of records collected.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all records (sorted by stage then task for determinism).
+    pub fn records(&self) -> Vec<TaskRecord> {
+        let mut v = self.records.lock().clone();
+        v.sort_by(|a, b| (a.stage, a.task).cmp(&(b.stage, b.task)));
+        v
+    }
+
+    /// Aggregate statistics for one stage, or `None` if unrecorded.
+    pub fn stage_stats(&self, stage: u32) -> Option<StageStats> {
+        let recs = self.records.lock();
+        let rs: Vec<&TaskRecord> = recs.iter().filter(|r| r.stage == stage).collect();
+        if rs.is_empty() {
+            return None;
+        }
+        let n = rs.len() as f64;
+        Some(StageStats {
+            tasks: rs.len() as u32,
+            mean_duration: rs.iter().map(|r| r.duration()).sum::<f64>() / n,
+            max_duration: rs.iter().map(|r| r.duration()).fold(f64::MIN, f64::max),
+            first_start: rs.iter().map(|r| r.start).fold(f64::MAX, f64::min),
+            last_end: rs.iter().map(|r| r.end).fold(f64::MIN, f64::max),
+            mean_steps: (
+                rs.iter().map(|r| r.read_secs).sum::<f64>() / n,
+                rs.iter().map(|r| r.compute_secs).sum::<f64>() / n,
+                rs.iter().map(|r| r.write_secs).sum::<f64>() / n,
+            ),
+        })
+    }
+
+    /// Clear all records (between profiled runs).
+    pub fn clear(&self) {
+        self.records.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(stage: u32, task: u32, start: f64, end: f64) -> TaskRecord {
+        TaskRecord {
+            stage,
+            task,
+            server: ServerId(0),
+            start,
+            end,
+            read_secs: 1.0,
+            compute_secs: 2.0,
+            write_secs: 0.5,
+            bytes_read: 100,
+            bytes_written: 50,
+        }
+    }
+
+    #[test]
+    fn collects_and_aggregates() {
+        let m = RuntimeMonitor::new();
+        m.record(rec(0, 0, 0.0, 4.0));
+        m.record(rec(0, 1, 0.5, 6.0));
+        m.record(rec(1, 0, 6.0, 8.0));
+        assert_eq!(m.len(), 3);
+        let s = m.stage_stats(0).unwrap();
+        assert_eq!(s.tasks, 2);
+        assert!((s.mean_duration - 4.75).abs() < 1e-12);
+        assert!((s.max_duration - 5.5).abs() < 1e-12);
+        assert_eq!(s.first_start, 0.0);
+        assert_eq!(s.last_end, 6.0);
+        assert_eq!(s.mean_steps, (1.0, 2.0, 0.5));
+        assert!(m.stage_stats(9).is_none());
+    }
+
+    #[test]
+    fn records_sorted() {
+        let m = RuntimeMonitor::new();
+        m.record(rec(1, 0, 0.0, 1.0));
+        m.record(rec(0, 1, 0.0, 1.0));
+        m.record(rec(0, 0, 0.0, 1.0));
+        let v = m.records();
+        assert_eq!(
+            v.iter().map(|r| (r.stage, r.task)).collect::<Vec<_>>(),
+            vec![(0, 0), (0, 1), (1, 0)]
+        );
+    }
+
+    #[test]
+    fn clear_resets() {
+        let m = RuntimeMonitor::new();
+        m.record(rec(0, 0, 0.0, 1.0));
+        assert!(!m.is_empty());
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        use std::sync::Arc;
+        let m = Arc::new(RuntimeMonitor::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for i in 0..25 {
+                        m.record(rec(t, i, 0.0, 1.0));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.len(), 100);
+    }
+}

@@ -1,0 +1,132 @@
+//! A function server: a bounded pool of single-core function slots.
+
+use std::fmt;
+
+/// Identifier of a server in the cluster; dense index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize)]
+pub struct ServerId(pub u32);
+
+impl ServerId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "srv{}", self.0)
+    }
+}
+
+/// One function server. `capacity` is the hardware bound (number of CPU
+/// cores available for functions); `free` is the currently available slot
+/// count, which varies with runtime conditions (§6.1 models this with slot
+/// usage / distribution knobs).
+#[derive(Debug, Clone)]
+pub struct Server {
+    /// Dense identifier.
+    pub id: ServerId,
+    /// Hardware slot capacity.
+    pub capacity: u32,
+    /// Currently free slots, ≤ capacity.
+    free: u32,
+}
+
+impl Server {
+    /// New server with all `capacity` slots free.
+    pub fn new(id: ServerId, capacity: u32) -> Self {
+        Server {
+            id,
+            capacity,
+            free: capacity,
+        }
+    }
+
+    /// New server with only `available` of `capacity` slots free (the rest
+    /// occupied by other tenants).
+    pub fn with_available(id: ServerId, capacity: u32, available: u32) -> Self {
+        assert!(available <= capacity, "available slots exceed capacity");
+        Server {
+            id,
+            capacity,
+            free: available,
+        }
+    }
+
+    /// Free slot count.
+    pub fn free(&self) -> u32 {
+        self.free
+    }
+
+    /// Occupied slot count.
+    pub fn used(&self) -> u32 {
+        self.capacity - self.free
+    }
+
+    /// Reserve `n` slots; `false` (no change) if not enough are free.
+    #[must_use]
+    pub fn reserve(&mut self, n: u32) -> bool {
+        if n > self.free {
+            return false;
+        }
+        self.free -= n;
+        true
+    }
+
+    /// Release `n` slots back.
+    ///
+    /// # Panics
+    /// Panics if releasing would exceed capacity (double release).
+    pub fn release(&mut self, n: u32) {
+        assert!(
+            self.free + n <= self.capacity,
+            "release of {n} slots would exceed capacity on {}",
+            self.id
+        );
+        self.free += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_release_roundtrip() {
+        let mut s = Server::new(ServerId(0), 8);
+        assert!(s.reserve(5));
+        assert_eq!(s.free(), 3);
+        assert_eq!(s.used(), 5);
+        assert!(!s.reserve(4));
+        assert_eq!(s.free(), 3, "failed reserve must not change state");
+        s.release(5);
+        assert_eq!(s.free(), 8);
+    }
+
+    #[test]
+    fn with_available_caps_free() {
+        let s = Server::with_available(ServerId(1), 96, 24);
+        assert_eq!(s.free(), 24);
+        assert_eq!(s.used(), 72);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed capacity")]
+    fn double_release_panics() {
+        let mut s = Server::new(ServerId(0), 4);
+        s.release(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "available slots exceed capacity")]
+    fn available_above_capacity_panics() {
+        Server::with_available(ServerId(0), 4, 5);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ServerId(3).to_string(), "srv3");
+    }
+}

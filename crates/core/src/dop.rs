@@ -1,0 +1,577 @@
+//! DoP ratio computing (paper §4.2, Algorithm 1).
+//!
+//! The key observation: under the step model `T = α/d + β`, the *ratio* of
+//! optimal DoPs between stages is independent of the slot budget `C`:
+//!
+//! * consecutive (parent–child) stages: `dᵢ/dⱼ = √(αᵢ/αⱼ)` — optimal by
+//!   Cauchy–Schwarz (Appendix A.1);
+//! * sibling stages (same downstream consumer): `dᵢ/dⱼ = αᵢ/αⱼ` — the
+//!   balanced structure is optimal (Appendix A.2).
+//!
+//! Merging two stages with their optimal ratio yields a *virtual stage*
+//! that still obeys the step model:
+//!
+//! * intra-path merge: `α = (√αᵢ + √αⱼ)²`, `β = βᵢ + βⱼ` (paper Eq. 3);
+//! * inter-path merge: `α = αᵢ + αⱼ`, `β = max(βᵢ, βⱼ)` (paper Eq. 4).
+//!
+//! Algorithm 1 applies these merges bottom-up — siblings first, then
+//! parent–child — until the DAG collapses to one virtual stage; walking
+//! the merge tree back down splits the slot budget `C` by the recorded
+//! ratios. Each stage is merged exactly once: `O(|V|)`.
+//!
+//! **General DAGs.** A stage with several downstream consumers (out-degree
+//! > 1) breaks the tree structure. Following the paper's guidance that
+//! sibling-then-parent merging remains the right strategy, we reduce the
+//! DAG to a spanning in-forest: each such stage is attached to its
+//! *primary* consumer — the one on the heaviest α-path to the sink — and
+//! the merge runs on that forest. The stage's full I/O (all out-edges)
+//! still counts in its α, so only the ratio bookkeeping, not the modeled
+//! work, is approximated.
+//!
+//! **Cost.** Minimizing Σ M·T reduces to single-path JCT with parallelized
+//! times `ρᵢαᵢ` (§4.2), giving `dᵢ/dⱼ = √(ρᵢαᵢ)/√(ρⱼαⱼ)` for *all* stage
+//! pairs.
+
+use crate::objective::Objective;
+use ditto_dag::{JobDag, StageId};
+use ditto_timemodel::JobTimeModel;
+
+/// The merge tree produced by the bottom-up pass. Exposed for tests and
+/// for the ablation benches; normal callers use [`compute_dop`].
+#[derive(Debug, Clone)]
+pub enum MergeNode {
+    /// An original stage.
+    Leaf {
+        /// The stage.
+        stage: StageId,
+        /// Its effective parallelized time.
+        alpha: f64,
+    },
+    /// Two sibling (parallel) subtrees merged with the inter-path ratio.
+    Inter {
+        /// Left subtree.
+        left: Box<MergeNode>,
+        /// Right subtree.
+        right: Box<MergeNode>,
+        /// Merged α = α_left + α_right.
+        alpha: f64,
+    },
+    /// An upstream subtree merged with its downstream consumer stage with
+    /// the intra-path ratio.
+    Intra {
+        /// The upstream (earlier) subtree.
+        upstream: Box<MergeNode>,
+        /// The downstream (later) subtree.
+        downstream: Box<MergeNode>,
+        /// Merged α = (√α_up + √α_down)².
+        alpha: f64,
+    },
+}
+
+impl MergeNode {
+    /// The node's merged parallelized time α.
+    pub fn alpha(&self) -> f64 {
+        match self {
+            MergeNode::Leaf { alpha, .. }
+            | MergeNode::Inter { alpha, .. }
+            | MergeNode::Intra { alpha, .. } => *alpha,
+        }
+    }
+}
+
+/// Result of DoP ratio computing.
+#[derive(Debug, Clone)]
+pub struct DopAssignment {
+    /// Exact (real-valued) per-stage DoPs summing to `C`.
+    pub fractional: Vec<f64>,
+    /// Rounded DoPs (§4.5: floor, at least 1, Σ ≤ max(C, #stages)).
+    pub dop: Vec<u32>,
+    /// α of the fully merged virtual stage: the predicted parallelizable
+    /// time of the whole job is `merged_alpha / C` for the JCT objective.
+    pub merged_alpha: f64,
+}
+
+/// Build the spanning in-forest: for every stage with out-degree > 1 pick
+/// the consumer on the heaviest α-path to the sink. Returns
+/// `primary_child[stage] = Some(child)` (`None` for final stages).
+fn primary_children(dag: &JobDag, alpha: &[f64]) -> Vec<Option<StageId>> {
+    // Longest α-weighted path from each stage to any sink.
+    let order = dag.topo_order().expect("scheduler requires a valid DAG");
+    let n = dag.num_stages();
+    let mut longest = vec![0.0_f64; n];
+    for &s in order.iter().rev() {
+        let best_child = dag
+            .children_of(s)
+            .map(|c| longest[c.index()])
+            .fold(0.0_f64, f64::max);
+        longest[s.index()] = alpha[s.index()] + best_child;
+    }
+    (0..n)
+        .map(|i| {
+            let s = StageId(i as u32);
+            dag.children_of(s).max_by(|&a, &b| {
+                longest[a.index()]
+                    .partial_cmp(&longest[b.index()])
+                    .unwrap()
+                    .then(b.cmp(&a)) // tie → smaller id
+            })
+        })
+        .collect()
+}
+
+/// Run the bottom-up merge (Algorithm 1) and return the merge tree.
+///
+/// `alpha[s]` is each stage's effective parallelized time under the current
+/// placement (already scaled by ρ for the cost objective if desired).
+pub fn bottom_up_merge(dag: &JobDag, alpha: &[f64]) -> MergeNode {
+    assert_eq!(alpha.len(), dag.num_stages());
+    let primary = primary_children(dag, alpha);
+
+    // tree_parents[s] = upstream stages merged into s (their primary child
+    // is s), sorted for determinism.
+    let mut tree_parents: Vec<Vec<StageId>> = vec![Vec::new(); dag.num_stages()];
+    for (i, pc) in primary.iter().enumerate() {
+        if let Some(c) = pc {
+            tree_parents[c.index()].push(StageId(i as u32));
+        }
+    }
+    for tp in &mut tree_parents {
+        tp.sort_unstable();
+    }
+
+    fn build(s: StageId, alpha: &[f64], tree_parents: &[Vec<StageId>]) -> MergeNode {
+        let leaf = MergeNode::Leaf {
+            stage: s,
+            alpha: alpha[s.index()],
+        };
+        let feeders = &tree_parents[s.index()];
+        if feeders.is_empty() {
+            return leaf;
+        }
+        // Merge sibling subtrees with the inter-path rule (Eq. 4)...
+        let mut iter = feeders.iter();
+        let first = build(*iter.next().unwrap(), alpha, tree_parents);
+        let upstream = iter.fold(first, |acc, &f| {
+            let rhs = build(f, alpha, tree_parents);
+            let a = acc.alpha() + rhs.alpha();
+            MergeNode::Inter {
+                left: Box::new(acc),
+                right: Box::new(rhs),
+                alpha: a,
+            }
+        });
+        // ...then merge with the downstream stage via the intra-path rule
+        // (Eq. 3).
+        let a = (upstream.alpha().sqrt() + leaf.alpha().sqrt()).powi(2);
+        MergeNode::Intra {
+            upstream: Box::new(upstream),
+            downstream: Box::new(leaf),
+            alpha: a,
+        }
+    }
+
+    // Each final stage roots a tree; several sinks run in parallel and are
+    // inter-merged.
+    let finals = dag.final_stages();
+    let mut iter = finals.iter();
+    let first = build(*iter.next().expect("validated DAG is non-empty"), alpha, &tree_parents);
+    iter.fold(first, |acc, &f| {
+        let rhs = build(f, alpha, &tree_parents);
+        let a = acc.alpha() + rhs.alpha();
+        MergeNode::Inter {
+            left: Box::new(acc),
+            right: Box::new(rhs),
+            alpha: a,
+        }
+    })
+}
+
+/// Split `d` slots down the merge tree by the recorded optimal ratios.
+pub fn distribute(node: &MergeNode, d: f64, out: &mut [f64]) {
+    match node {
+        MergeNode::Leaf { stage, .. } => out[stage.index()] = d,
+        MergeNode::Inter { left, right, .. } => {
+            // dᵢ/dⱼ = αᵢ/αⱼ (balanced structure).
+            let (al, ar) = (left.alpha(), right.alpha());
+            let share = if al + ar > 0.0 { al / (al + ar) } else { 0.5 };
+            distribute(left, d * share, out);
+            distribute(right, d * (1.0 - share), out);
+        }
+        MergeNode::Intra {
+            upstream,
+            downstream,
+            ..
+        } => {
+            // dᵢ/dⱼ = √αᵢ/√αⱼ (Cauchy–Schwarz optimum).
+            let (su, sd) = (upstream.alpha().sqrt(), downstream.alpha().sqrt());
+            let share = if su + sd > 0.0 { su / (su + sd) } else { 0.5 };
+            distribute(upstream, d * share, out);
+            distribute(downstream, d * (1.0 - share), out);
+        }
+    }
+}
+
+/// Round fractional DoPs per §4.5: floor, at least one task per stage.
+/// When flooring + clamping overshoots `C` (only possible if `C` is small
+/// relative to the stage count), slots are taken back from the largest
+/// DoPs so the budget holds whenever `C ≥ #stages`.
+pub fn round_dops(fractional: &[f64], c: u32) -> Vec<u32> {
+    let mut dop: Vec<u32> = fractional.iter().map(|&f| (f.floor() as u32).max(1)).collect();
+    let n = dop.len() as u32;
+    let budget = c.max(n); // every stage needs ≥ 1 task regardless
+    let mut sum: u32 = dop.iter().sum();
+    while sum > budget {
+        // Shrink the currently largest DoP (deterministic: first max).
+        let (idx, _) = dop
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &d)| (d, usize::MAX - i))
+            .unwrap();
+        debug_assert!(dop[idx] > 1);
+        dop[idx] -= 1;
+        sum -= 1;
+    }
+    dop
+}
+
+/// Alternative rounding (extension, not in the paper): floor + at least
+/// one task, then hand the *leftover* slots (`C − Σ⌊dᵢ⌋`) to the stages
+/// with the largest fractional remainders. Uses every slot the paper's
+/// plain floor strategy would waste; compared in the rounding ablation.
+pub fn round_dops_largest_remainder(fractional: &[f64], c: u32) -> Vec<u32> {
+    let mut dop = round_dops(fractional, c);
+    let mut sum: u32 = dop.iter().sum();
+    if sum >= c {
+        return dop;
+    }
+    // Stages sorted by descending remainder, ties toward smaller index.
+    let mut order: Vec<usize> = (0..dop.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ra = fractional[a] - fractional[a].floor();
+        let rb = fractional[b] - fractional[b].floor();
+        rb.partial_cmp(&ra).unwrap().then(a.cmp(&b))
+    });
+    let mut i = 0;
+    while sum < c {
+        dop[order[i % order.len()]] += 1;
+        sum += 1;
+        i += 1;
+    }
+    dop
+}
+
+/// The full DoP ratio computing pass: effective αs under the co-location
+/// mask, bottom-up merge (JCT) or the single-path reduction (cost), budget
+/// split and rounding.
+///
+/// ```
+/// use ditto_core::{compute_dop, Objective};
+/// use ditto_timemodel::{model::RateConfig, JobTimeModel};
+///
+/// // The paper's Fig. 1 join DAG: map1 and map2 are *siblings*, so the
+/// // inter-path ratio applies — slots proportional to their α (≈ the 4x
+/// // data ratio), balancing the two parallel scans' execution times.
+/// let dag = ditto_dag::generators::fig1_join();
+/// let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+/// let a = compute_dop(&dag, &model, &model.no_colocation(), Objective::Jct, 60);
+/// assert_eq!(a.dop.len(), 3);
+/// let ratio = a.fractional[0] / a.fractional[1];
+/// assert!(ratio > 3.0 && ratio < 5.5, "sibling ratio ≈ alpha ratio: {ratio}");
+/// assert!(a.dop.iter().sum::<u32>() <= 60);
+/// ```
+pub fn compute_dop(
+    dag: &JobDag,
+    model: &JobTimeModel,
+    colocated: &[bool],
+    objective: Objective,
+    c: u32,
+) -> DopAssignment {
+    assert!(c >= 1, "need at least one function slot");
+    let n = dag.num_stages();
+    let alpha: Vec<f64> = dag
+        .stages()
+        .iter()
+        .map(|s| model.stage_alpha(dag, s.id, colocated))
+        .collect();
+
+    match objective {
+        Objective::Jct => {
+            let tree = bottom_up_merge(dag, &alpha);
+            let mut fractional = vec![0.0; n];
+            distribute(&tree, c as f64, &mut fractional);
+            let dop = round_dops(&fractional, c);
+            DopAssignment {
+                fractional,
+                dop,
+                merged_alpha: tree.alpha(),
+            }
+        }
+        Objective::Cost => {
+            // Single-path reduction: dᵢ ∝ √(ρᵢ αᵢ).
+            let shares: Vec<f64> = (0..n)
+                .map(|i| (model.resource(StageId(i as u32)).rho * alpha[i]).sqrt())
+                .collect();
+            let total: f64 = shares.iter().sum();
+            let fractional: Vec<f64> = if total > 0.0 {
+                shares.iter().map(|s| s / total * c as f64).collect()
+            } else {
+                vec![c as f64 / n as f64; n]
+            };
+            let merged_alpha = total * total; // (Σ√(ρα))² by Eq. 3 cascade
+            let dop = round_dops(&fractional, c);
+            DopAssignment {
+                fractional,
+                dop,
+                merged_alpha,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ditto_dag::{DagBuilder, EdgeKind, StageKind};
+    use ditto_timemodel::model::{EdgeIo, StageSteps};
+    use ditto_timemodel::ResourceModel;
+
+    /// A model with explicit per-stage compute αs and zero I/O, so the
+    /// stage αs equal the given values exactly.
+    fn explicit_model(dag: &JobDag, alphas: &[f64]) -> JobTimeModel {
+        let stages = alphas
+            .iter()
+            .map(|&a| StageSteps::compute_only(a, 0.0))
+            .collect();
+        let edges = (0..dag.num_edges()).map(|_| EdgeIo::zero()).collect();
+        let res = vec![ResourceModel::default(); dag.num_stages()];
+        JobTimeModel::new(dag, stages, edges, res)
+    }
+
+    fn two_stage_chain() -> JobDag {
+        DagBuilder::new("chain2")
+            .stage("s1", StageKind::Map, 0, 0)
+            .stage("s2", StageKind::Reduce, 0, 0)
+            .edge("s1", "s2", EdgeKind::Shuffle, 0)
+            .build()
+            .unwrap()
+    }
+
+    /// Paper Fig. 4: α₁=60, α₂=15, C=15 ⇒ intra-path ratio √(60/15)=2
+    /// ⇒ d₁=10, d₂=5 (completion 9 vs 10 for the data-size split 12/3).
+    #[test]
+    fn fig4_intra_path_ratio() {
+        let dag = two_stage_chain();
+        let model = explicit_model(&dag, &[60.0, 15.0]);
+        let a = compute_dop(&dag, &model, &[false], Objective::Jct, 15);
+        assert!((a.fractional[0] - 10.0).abs() < 1e-9, "{:?}", a.fractional);
+        assert!((a.fractional[1] - 5.0).abs() < 1e-9);
+        assert_eq!(a.dop, vec![10, 5]);
+        // Merged virtual stage: (√60 + √15)² = 135... check Eq. 3.
+        let expect = (60.0_f64.sqrt() + 15.0_f64.sqrt()).powi(2);
+        assert!((a.merged_alpha - expect).abs() < 1e-9);
+        // Completion time at the optimum: 60/10 + 15/5 = 9 (paper's value).
+        let t = 60.0 / a.fractional[0] + 15.0 / a.fractional[1];
+        assert!((t - 9.0).abs() < 1e-9);
+        // The data-size-proportional split (12, 3) gives 10 — worse.
+        assert!(t < 60.0 / 12.0 + 15.0 / 3.0);
+    }
+
+    /// Paper Fig. 5: siblings α₁=24, α₂=12 ⇒ inter-path ratio 2 ⇒ with 6
+    /// slots between them, d₁=4, d₂=2, completion 6 (vs 8 at 3/3).
+    #[test]
+    fn fig5_inter_path_ratio() {
+        // Two siblings feeding a sink with negligible work.
+        let dag = DagBuilder::new("sib")
+            .stage("s1", StageKind::Map, 0, 0)
+            .stage("s2", StageKind::Map, 0, 0)
+            .stage("sink", StageKind::Reduce, 0, 0)
+            .edge("s1", "sink", EdgeKind::Shuffle, 0)
+            .edge("s2", "sink", EdgeKind::Shuffle, 0)
+            .build()
+            .unwrap();
+        let model = explicit_model(&dag, &[24.0, 12.0, 1e-12]);
+        let a = compute_dop(&dag, &model, &[false, false], Objective::Jct, 6);
+        // Sink's α≈0 absorbs ~no slots; siblings split ~6 at ratio 2:1.
+        let ratio = a.fractional[0] / a.fractional[1];
+        assert!((ratio - 2.0).abs() < 1e-6, "ratio={ratio}");
+        assert!(a.fractional[0] + a.fractional[1] > 5.99);
+        // Balanced: equal execution times.
+        let t1 = 24.0 / a.fractional[0];
+        let t2 = 12.0 / a.fractional[1];
+        assert!((t1 - t2).abs() < 1e-6);
+    }
+
+    /// Intra-path optimality (Appendix A.1): the computed split beats any
+    /// perturbed split for a 3-stage chain.
+    #[test]
+    fn intra_path_is_optimal() {
+        let dag = DagBuilder::new("chain3")
+            .stage("a", StageKind::Map, 0, 0)
+            .stage("b", StageKind::Custom, 0, 0)
+            .stage("c", StageKind::Reduce, 0, 0)
+            .edge("a", "b", EdgeKind::Shuffle, 0)
+            .edge("b", "c", EdgeKind::Shuffle, 0)
+            .build()
+            .unwrap();
+        let alphas = [50.0, 18.0, 2.0];
+        let model = explicit_model(&dag, &alphas);
+        let c = 30.0;
+        let a = compute_dop(&dag, &model, &[false, false], Objective::Jct, 30);
+        let jct = |d: &[f64]| alphas.iter().zip(d).map(|(al, dd)| al / dd).sum::<f64>();
+        let best = jct(&a.fractional);
+        // Perturb mass between stage pairs; optimum must not improve.
+        for i in 0..3 {
+            for j in 0..3 {
+                if i == j {
+                    continue;
+                }
+                let mut d = a.fractional.clone();
+                let eps = 0.05 * d[i];
+                d[i] -= eps;
+                d[j] += eps;
+                assert!(jct(&d) >= best - 1e-9, "perturbation {i}->{j} improved");
+            }
+        }
+        assert!((a.fractional.iter().sum::<f64>() - c).abs() < 1e-9);
+    }
+
+    /// Cost mode: dᵢ ∝ √(ρᵢαᵢ) for every pair, even siblings.
+    #[test]
+    fn cost_mode_single_path_reduction() {
+        let dag = DagBuilder::new("sib")
+            .stage("s1", StageKind::Map, 0, 0)
+            .stage("s2", StageKind::Map, 0, 0)
+            .stage("sink", StageKind::Reduce, 0, 0)
+            .edge("s1", "sink", EdgeKind::Shuffle, 0)
+            .edge("s2", "sink", EdgeKind::Shuffle, 0)
+            .build()
+            .unwrap();
+        let mut model = explicit_model(&dag, &[64.0, 16.0, 4.0]);
+        *model.resource_mut(StageId(0)) = ResourceModel::new(1.0, 0.0);
+        *model.resource_mut(StageId(1)) = ResourceModel::new(4.0, 0.0);
+        *model.resource_mut(StageId(2)) = ResourceModel::new(1.0, 0.0);
+        let a = compute_dop(&dag, &model, &[false, false], Objective::Cost, 28);
+        // √(ρα) = √64=8, √64=8, √4=2 → shares 8:8:2 of 28 → 12.44,12.44,3.11
+        let f = &a.fractional;
+        assert!((f[0] - f[1]).abs() < 1e-9);
+        assert!((f[0] / f[2] - 4.0).abs() < 1e-9);
+        assert!((f.iter().sum::<f64>() - 28.0).abs() < 1e-9);
+    }
+
+    /// Cost optimality: the computed split minimizes Σ ρα/d among
+    /// perturbations under Σd = C.
+    #[test]
+    fn cost_mode_is_optimal() {
+        let dag = ditto_dag::generators::q95_shape();
+        let model = JobTimeModel::from_rates(&dag, &Default::default());
+        let none = model.no_colocation();
+        let a = compute_dop(&dag, &model, &none, Objective::Cost, 100);
+        let rho_alpha: Vec<f64> = dag
+            .stages()
+            .iter()
+            .map(|s| model.resource(s.id).rho * model.stage_alpha(&dag, s.id, &none))
+            .collect();
+        let cost = |d: &[f64]| rho_alpha.iter().zip(d).map(|(ra, dd)| ra / dd).sum::<f64>();
+        let best = cost(&a.fractional);
+        for i in 0..dag.num_stages() {
+            for j in 0..dag.num_stages() {
+                if i == j {
+                    continue;
+                }
+                let mut d = a.fractional.clone();
+                let eps = 0.02 * d[i];
+                d[i] -= eps;
+                d[j] += eps;
+                assert!(cost(&d) >= best - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_floors_and_clamps() {
+        assert_eq!(round_dops(&[3.9, 0.2, 5.0], 10), vec![3, 1, 5]);
+        // Over budget from clamping: C=3, three stages → all get 1 (the
+        // floored 2 is shrunk back to keep Σd ≤ C).
+        assert_eq!(round_dops(&[0.5, 0.5, 2.0], 3), vec![1, 1, 1]);
+        let r = round_dops(&[0.1, 0.1, 0.1], 3);
+        assert_eq!(r, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn largest_remainder_uses_all_slots() {
+        let fr = vec![10.7, 20.3, 0.4, 8.6];
+        let c = 40;
+        let r = round_dops_largest_remainder(&fr, c);
+        assert_eq!(r.iter().sum::<u32>(), c, "{r:?}");
+        assert!(r.iter().all(|&d| d >= 1));
+        // The biggest remainder (0.7) gets the first leftover slot.
+        assert!(r[0] >= 11);
+    }
+
+    #[test]
+    fn largest_remainder_matches_floor_when_exact() {
+        let fr = vec![10.0, 20.0, 10.0];
+        assert_eq!(round_dops_largest_remainder(&fr, 40), vec![10, 20, 10]);
+    }
+
+    #[test]
+    fn rounding_never_exceeds_budget_when_feasible() {
+        let fr = vec![10.7, 20.3, 0.4, 8.6];
+        let c = 40;
+        let r = round_dops(&fr, c);
+        assert!(r.iter().sum::<u32>() <= c);
+        assert!(r.iter().all(|&d| d >= 1));
+    }
+
+    /// Colocation shifts slots: zero-copy removes a stage's I/O α, so its
+    /// DoP share shrinks in favour of stages that still pay for I/O.
+    #[test]
+    fn colocation_changes_ratios() {
+        let dag = ditto_dag::generators::fig1_join();
+        let model = JobTimeModel::from_rates(&dag, &Default::default());
+        let none = model.no_colocation();
+        let a_remote = compute_dop(&dag, &model, &none, Objective::Jct, 60);
+        let mut colo = none.clone();
+        colo[0] = true; // map1 -- join via shared memory
+        let a_colo = compute_dop(&dag, &model, &colo, Objective::Jct, 60);
+        // map1's α shrinks → its share drops relative to map2's.
+        let share_remote = a_remote.fractional[0] / a_remote.fractional[1];
+        let share_colo = a_colo.fractional[0] / a_colo.fractional[1];
+        assert!(share_colo < share_remote);
+    }
+
+    /// The merged α of the whole q95 DAG decreases when edges co-locate
+    /// (predicted JCT improves), and the budget is fully distributed.
+    #[test]
+    fn q95_distribution_sums_to_budget() {
+        let dag = ditto_dag::generators::q95_shape();
+        let model = JobTimeModel::from_rates(&dag, &Default::default());
+        let none = model.no_colocation();
+        let a = compute_dop(&dag, &model, &none, Objective::Jct, 200);
+        assert!((a.fractional.iter().sum::<f64>() - 200.0).abs() < 1e-6);
+        assert!(a.dop.iter().sum::<u32>() <= 200);
+        let mut colo = none.clone();
+        colo[0] = true;
+        let a2 = compute_dop(&dag, &model, &colo, Objective::Jct, 200);
+        assert!(a2.merged_alpha < a.merged_alpha);
+    }
+
+    /// Multi-sink and multi-consumer DAGs still distribute the full budget.
+    #[test]
+    fn general_dag_handled() {
+        let dag = ditto_dag::generators::diamond(1 << 30);
+        let model = JobTimeModel::from_rates(&dag, &Default::default());
+        let none = model.no_colocation();
+        let a = compute_dop(&dag, &model, &none, Objective::Jct, 50);
+        assert!((a.fractional.iter().sum::<f64>() - 50.0).abs() < 1e-6);
+        assert!(a.fractional.iter().all(|&f| f > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one function slot")]
+    fn zero_budget_rejected() {
+        let dag = two_stage_chain();
+        let model = explicit_model(&dag, &[1.0, 1.0]);
+        compute_dop(&dag, &model, &[false], Objective::Jct, 0);
+    }
+}

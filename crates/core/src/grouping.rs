@@ -1,0 +1,320 @@
+//! Stage groups and the greedy grouping order (paper §4.3, Algorithm 2).
+
+use crate::objective::Objective;
+use ditto_dag::paths::{critical_path, DagWeights};
+use ditto_dag::{EdgeId, JobDag, StageId};
+use ditto_timemodel::JobTimeModel;
+
+/// A union-find over stages tracking which stages share a group.
+///
+/// The *stage group* is Ditto's scheduling granularity: all tasks of all
+/// stages in a group are placed on the same server so intermediate data
+/// moves through zero-copy shared memory.
+#[derive(Debug, Clone)]
+pub struct StageGroups {
+    parent: Vec<u32>,
+}
+
+impl StageGroups {
+    /// Every stage in its own group.
+    pub fn singletons(n_stages: usize) -> Self {
+        StageGroups {
+            parent: (0..n_stages as u32).collect(),
+        }
+    }
+
+    /// Group representative of a stage.
+    pub fn find(&self, s: StageId) -> StageId {
+        let mut x = s.0;
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        StageId(x)
+    }
+
+    /// Merge the groups of two stages.
+    pub fn union(&mut self, a: StageId, b: StageId) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller id becomes the representative.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi.index()] = lo.0;
+        }
+    }
+
+    /// `true` if the two stages share a group.
+    pub fn same_group(&self, a: StageId, b: StageId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Per-edge co-location mask: `mask[EdgeId]` is `true` iff the edge's
+    /// endpoints share a group (its I/O then costs ~nothing, §4.1).
+    pub fn colocation_mask(&self, dag: &JobDag) -> Vec<bool> {
+        dag.edges()
+            .iter()
+            .map(|e| self.same_group(e.src, e.dst))
+            .collect()
+    }
+
+    /// Materialize the groups as sorted stage lists (including singletons),
+    /// ordered by representative id.
+    pub fn groups(&self, n_stages: usize) -> Vec<Vec<StageId>> {
+        let mut buckets: Vec<Vec<StageId>> = vec![Vec::new(); n_stages];
+        for i in 0..n_stages {
+            let s = StageId(i as u32);
+            buckets[self.find(s).index()].push(s);
+        }
+        buckets.into_iter().filter(|b| !b.is_empty()).collect()
+    }
+
+    /// Group index of every stage, aligned with [`StageGroups::groups`].
+    pub fn group_of(&self, n_stages: usize) -> Vec<usize> {
+        let groups = self.groups(n_stages);
+        let mut idx = vec![usize::MAX; n_stages];
+        for (gi, g) in groups.iter().enumerate() {
+            for s in g {
+                idx[s.index()] = gi;
+            }
+        }
+        idx
+    }
+}
+
+/// Grouping weights for the current DoP configuration (§4.3):
+///
+/// * JCT: node weight `C(sᵢ)`, edge weight `W(sᵢ) + R(sⱼ)`;
+/// * cost: node weight `M(sᵢ)·C(sᵢ)`, edge weight
+///   `M(sᵢ)·W(sᵢ) + M(sⱼ)·R(sⱼ)`.
+///
+/// Grouped edges weigh (nearly) zero thanks to zero-copy shared memory.
+pub fn grouping_weights(
+    dag: &JobDag,
+    model: &JobTimeModel,
+    dop: &[u32],
+    colocated: &[bool],
+    objective: Objective,
+) -> DagWeights {
+    let mut w = DagWeights::zeros(dag);
+    for s in dag.stages() {
+        let d = dop[s.id.index()].max(1) as f64;
+        let c = model.compute_time(s.id, d);
+        w.node[s.id.index()] = match objective {
+            Objective::Jct => c,
+            Objective::Cost => model.resource(s.id).usage(d) * c,
+        };
+    }
+    for e in dag.edges() {
+        if colocated[e.id.index()] {
+            continue; // zero weight
+        }
+        let io = model.edge_io(e.id);
+        let d_src = dop[e.src.index()].max(1) as f64;
+        let d_dst = dop[e.dst.index()].max(1) as f64;
+        let wt = io.write.eval(d_src);
+        let rt = io.read.eval(d_dst);
+        w.edge[e.id.index()] = match objective {
+            Objective::Jct => wt + rt,
+            Objective::Cost => {
+                model.resource(e.src).usage(d_src) * wt + model.resource(e.dst).usage(d_dst) * rt
+            }
+        };
+    }
+    w
+}
+
+/// The greedy grouping *order*: the sequence in which Algorithm 2 traverses
+/// edges. For the cost objective this is simply all edges in descending
+/// weight. For JCT, each next edge is the heaviest ungrouped edge on the
+/// *current* critical path (re-deriving the critical path after zeroing the
+/// chosen edge, as in Fig. 6b); when the critical path holds no ungrouped
+/// edge, the globally heaviest ungrouped edge is taken so every edge is
+/// eventually traversed.
+pub fn greedy_group_order(
+    dag: &JobDag,
+    model: &JobTimeModel,
+    dop: &[u32],
+    colocated: &[bool],
+    objective: Objective,
+) -> Vec<EdgeId> {
+    let mut w = grouping_weights(dag, model, dop, colocated, objective);
+    let mut remaining: Vec<EdgeId> = dag.edges().iter().map(|e| e.id).collect();
+    let mut order = Vec::with_capacity(remaining.len());
+
+    match objective {
+        Objective::Cost => {
+            // Global descending weight; ties by edge id for determinism.
+            remaining.sort_by(|&a, &b| {
+                w.edge[b.index()]
+                    .partial_cmp(&w.edge[a.index()])
+                    .unwrap()
+                    .then(a.cmp(&b))
+            });
+            order = remaining;
+        }
+        Objective::Jct => {
+            while !remaining.is_empty() {
+                let cp = critical_path(dag, &w);
+                // Heaviest not-yet-ordered edge on the critical path.
+                let pick = cp
+                    .edges
+                    .iter()
+                    .copied()
+                    .filter(|e| remaining.contains(e))
+                    .max_by(|&a, &b| {
+                        w.edge[a.index()]
+                            .partial_cmp(&w.edge[b.index()])
+                            .unwrap()
+                            .then(b.cmp(&a))
+                    });
+                // Fall back to the globally heaviest remaining edge when the
+                // critical path is fully grouped already.
+                let pick = pick.unwrap_or_else(|| {
+                    remaining
+                        .iter()
+                        .copied()
+                        .max_by(|&a, &b| {
+                            w.edge[a.index()]
+                                .partial_cmp(&w.edge[b.index()])
+                                .unwrap()
+                                .then(b.cmp(&a))
+                        })
+                        .unwrap()
+                });
+                w.edge[pick.index()] = 0.0; // re-profile: ω(e) ← 0
+                remaining.retain(|&e| e != pick);
+                order.push(pick);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ditto_dag::{DagBuilder, EdgeKind, StageKind};
+    use ditto_timemodel::model::RateConfig;
+
+    #[test]
+    fn dsu_union_find() {
+        let mut g = StageGroups::singletons(4);
+        assert!(!g.same_group(StageId(0), StageId(1)));
+        g.union(StageId(0), StageId(1));
+        g.union(StageId(2), StageId(3));
+        assert!(g.same_group(StageId(0), StageId(1)));
+        assert!(!g.same_group(StageId(1), StageId(2)));
+        g.union(StageId(1), StageId(3));
+        assert!(g.same_group(StageId(0), StageId(2)));
+        assert_eq!(g.groups(4).len(), 1);
+        assert_eq!(g.group_of(4), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn colocation_mask_follows_groups() {
+        let dag = ditto_dag::generators::fig1_join();
+        let mut g = StageGroups::singletons(3);
+        assert_eq!(g.colocation_mask(&dag), vec![false, false]);
+        g.union(StageId(0), StageId(2)); // map1 with join
+        assert_eq!(g.colocation_mask(&dag), vec![true, false]);
+    }
+
+    /// Reproduces the paper's Fig. 6a: single path, traverse edges in
+    /// descending weight: [e1, e2] with ω(e1)=100 > ω(e2)=50.
+    #[test]
+    fn fig6a_single_path_order() {
+        // Three-stage chain; edge bytes chosen so shuffle times are 100, 50.
+        let dag = DagBuilder::new("fig6a")
+            .stage("a", StageKind::Map, 0, 0)
+            .stage("b", StageKind::Map, 0, 0)
+            .stage("c", StageKind::Map, 0, 0)
+            .edge("a", "b", EdgeKind::Shuffle, 5_000_000_000)
+            .edge("b", "c", EdgeKind::Shuffle, 2_500_000_000)
+            .build()
+            .unwrap();
+        let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+        let dop = vec![1, 1, 1];
+        let colocated = vec![false, false];
+        let order = greedy_group_order(&dag, &model, &dop, &colocated, Objective::Jct);
+        assert_eq!(order, vec![EdgeId(0), EdgeId(1)]);
+    }
+
+    /// Reproduces the paper's Fig. 6b: two paths; order [e3, e1, e4, e2].
+    /// Node weights are equal per path; edge weights: path1 = 100, 50;
+    /// path2 = 120, 80 — wait, the figure has path2's weights at 120 after
+    /// grouping e3; we encode ω(e1)=100(→120 in fig), exact values below.
+    #[test]
+    fn fig6b_multi_path_order() {
+        // Build: a1-e0->a2-e2->sink ; b1-e1->b2-e3->sink
+        // Weights (bytes scaled): e0=120, e1=100, e2=50, e3=80.
+        // Critical path initially via b (120+80=200)?? The figure's path2
+        // carries ω(e3)=100 and ω(e4)=80 with path1 ω(e1)=120 after the
+        // first grouping. We set: path1 edges 120, 50; path2 edges 100, 80.
+        // path2 total 180 > path1 170 → pick e(100)=path2's heavier (100);
+        // then path1 (170) → pick 120; then path2 (80) → 80; then 50.
+        let bw = 100e6; // shuffle_bw used below, 1 byte ≈ 1/bw s at d=1
+        let b = |secs: f64| (secs * bw) as u64;
+        let dag = DagBuilder::new("fig6b")
+            .stage("a1", StageKind::Map, 0, 0)
+            .stage("a2", StageKind::Map, 0, 0)
+            .stage("b1", StageKind::Map, 0, 0)
+            .stage("b2", StageKind::Map, 0, 0)
+            .stage("sink", StageKind::Reduce, 0, 0)
+            .edge("a1", "a2", EdgeKind::Shuffle, b(60.0)) // e0: W+R=120
+            .edge("b1", "b2", EdgeKind::Shuffle, b(50.0)) // e1: 100
+            .edge("a2", "sink", EdgeKind::Shuffle, b(25.0)) // e2: 50
+            .edge("b2", "sink", EdgeKind::Shuffle, b(40.0)) // e3: 80
+            .build()
+            .unwrap();
+        let mut cfg = RateConfig::default();
+        cfg.io_beta = 0.0;
+        cfg.compute_beta = 0.0;
+        cfg.straggler_scale = 1.0;
+        let model = JobTimeModel::from_rates(&dag, &cfg);
+        let dop = vec![1; 5];
+        let colocated = vec![false; 4];
+        let order = greedy_group_order(&dag, &model, &dop, &colocated, Objective::Jct);
+        // path2 (b) total 180 > path1 170: pick e1 (100). Then path1 (170):
+        // pick e0 (120). Then path2 (80): pick e3. Then e2.
+        assert_eq!(order, vec![EdgeId(1), EdgeId(0), EdgeId(3), EdgeId(2)]);
+    }
+
+    #[test]
+    fn cost_order_is_global_descending() {
+        let dag = ditto_dag::generators::q95_shape();
+        let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+        let dop = vec![4; dag.num_stages()];
+        let colocated = vec![false; dag.num_edges()];
+        let order = greedy_group_order(&dag, &model, &dop, &colocated, Objective::Cost);
+        assert_eq!(order.len(), dag.num_edges());
+        let w = grouping_weights(&dag, &model, &dop, &colocated, Objective::Cost);
+        for pair in order.windows(2) {
+            assert!(w.edge[pair[0].index()] >= w.edge[pair[1].index()] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn grouped_edges_have_zero_weight() {
+        let dag = ditto_dag::generators::fig1_join();
+        let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+        let dop = vec![4, 4, 4];
+        let w_all = grouping_weights(&dag, &model, &dop, &[false, false], Objective::Jct);
+        let w_grp = grouping_weights(&dag, &model, &dop, &[true, false], Objective::Jct);
+        assert!(w_all.edge[0] > 0.0);
+        assert_eq!(w_grp.edge[0], 0.0);
+        assert_eq!(w_grp.edge[1], w_all.edge[1]);
+    }
+
+    #[test]
+    fn order_contains_every_edge_once() {
+        let dag = ditto_dag::generators::q95_shape();
+        let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+        let dop = vec![8; dag.num_stages()];
+        let colocated = vec![false; dag.num_edges()];
+        for obj in [Objective::Jct, Objective::Cost] {
+            let order = greedy_group_order(&dag, &model, &dop, &colocated, obj);
+            let mut sorted: Vec<u32> = order.iter().map(|e| e.0).collect();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..dag.num_edges() as u32).collect::<Vec<_>>());
+        }
+    }
+}

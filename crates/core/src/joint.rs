@@ -1,0 +1,302 @@
+//! Joint iterative optimization of parallelism and placement (Algorithm 3).
+//!
+//! Starting from singleton groups and the DoP-ratio configuration, each
+//! iteration re-derives the greedy grouping order under the current DoPs,
+//! then walks it: tentatively group an edge's endpoint stages, recompute
+//! the optimal DoPs for the new co-location mask, and run the best-fit
+//! placement check. The first edge that places commits; a failed edge is
+//! rolled back and the next one tried. Iterations stop when a full pass
+//! commits nothing. The predicted objective is non-increasing throughout
+//! (paper Inequality 6): grouping only removes modeled I/O, and DoP ratio
+//! computing is optimal for each mask.
+
+use crate::dop::compute_dop;
+use crate::grouping::{greedy_group_order, StageGroups};
+use crate::objective::Objective;
+use crate::placement::{can_place_with};
+use crate::schedule::Schedule;
+use ditto_cluster::ResourceManager;
+use ditto_dag::{EdgeId, JobDag};
+use ditto_timemodel::JobTimeModel;
+
+/// How the joint optimizer orders candidate edges each iteration
+/// (ablation knob; Ditto's choice is [`GroupOrderPolicy::Greedy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupOrderPolicy {
+    /// The paper's greedy order: heaviest edge on the current critical
+    /// path for JCT, globally heaviest for cost (§4.3).
+    Greedy,
+    /// Globally descending edge weight regardless of objective.
+    GlobalDescending,
+    /// A fixed random permutation (seeded).
+    Random(u64),
+}
+
+/// Options for the joint optimizer.
+#[derive(Debug, Clone)]
+pub struct JointOptions {
+    /// Allow decomposing gather-only stage groups into task groups when a
+    /// whole group fits no single server (§4.5). On by default.
+    pub gather_decomposition: bool,
+    /// Upper bound on commit iterations (defensive; the loop naturally
+    /// terminates after at most `|E|` commits).
+    pub max_iterations: usize,
+    /// Edge-ordering policy (ablation knob).
+    pub order_policy: GroupOrderPolicy,
+    /// Server-fit strategy for the placement check (ablation knob; Ditto
+    /// uses best fit, §4.4).
+    pub fit_strategy: crate::placement::FitStrategy,
+}
+
+impl Default for JointOptions {
+    fn default() -> Self {
+        JointOptions {
+            gather_decomposition: true,
+            max_iterations: 4096,
+            order_policy: GroupOrderPolicy::Greedy,
+            fit_strategy: crate::placement::FitStrategy::BestFit,
+        }
+    }
+}
+
+/// Run Algorithm 3 and return the final schedule.
+///
+/// ```
+/// use ditto_core::{joint_optimize, JointOptions, Objective};
+/// use ditto_cluster::ResourceManager;
+/// use ditto_timemodel::{model::RateConfig, JobTimeModel};
+///
+/// let dag = ditto_dag::generators::q95_shape();
+/// let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+/// let rm = ResourceManager::from_free_slots(vec![96, 48, 24]);
+/// let schedule = joint_optimize(&dag, &model, &rm, Objective::Jct, &JointOptions::default());
+/// schedule.validate(&dag).unwrap();
+/// assert!(schedule.total_slots() <= rm.total_free());
+/// // On a roomy cluster some shuffle is co-located onto shared memory.
+/// assert!(schedule.colocated.iter().any(|&c| c));
+/// ```
+///
+/// # Panics
+/// Panics if even the fully ungrouped configuration cannot be placed —
+/// impossible when the rounded DoPs respect `Σd ≤ C` and `C ≥ #stages`,
+/// which [`crate::dop::compute_dop`] guarantees for any
+/// cluster with at least one slot per stage.
+pub fn joint_optimize(
+    dag: &JobDag,
+    model: &JobTimeModel,
+    rm: &ResourceManager,
+    objective: Objective,
+    opts: &JointOptions,
+) -> Schedule {
+    let c = rm.total_free();
+    let n = dag.num_stages();
+
+    let mut groups = StageGroups::singletons(n);
+    let mut colocated = groups.colocation_mask(dag);
+    let mut assignment = compute_dop(dag, model, &colocated, objective, c.max(1));
+    assert!(
+        can_place_with(dag, &assignment.dop, &groups, rm, opts.gather_decomposition, opts.fit_strategy).is_some(),
+        "ungrouped baseline configuration must be placeable (C={c}, stages={n})"
+    );
+
+    let mut ungrouped: Vec<EdgeId> = dag.edges().iter().map(|e| e.id).collect();
+    let mut iterations = 0usize;
+    while !ungrouped.is_empty() && iterations < opts.max_iterations {
+        iterations += 1;
+        // Re-derive the edge order under the current DoPs and mask, then
+        // keep only still-ungrouped edges (ω of grouped edges is 0 anyway).
+        let raw_order: Vec<EdgeId> = match opts.order_policy {
+            GroupOrderPolicy::Greedy => {
+                greedy_group_order(dag, model, &assignment.dop, &colocated, objective)
+            }
+            GroupOrderPolicy::GlobalDescending => {
+                // Descending by the objective's edge weight, ignoring the
+                // critical path.
+                let w = crate::grouping::grouping_weights(
+                    dag,
+                    model,
+                    &assignment.dop,
+                    &colocated,
+                    objective,
+                );
+                let mut v: Vec<EdgeId> = dag.edges().iter().map(|e| e.id).collect();
+                v.sort_by(|&a, &b| {
+                    w.edge[b.index()]
+                        .partial_cmp(&w.edge[a.index()])
+                        .unwrap()
+                        .then(a.cmp(&b))
+                });
+                v
+            }
+            GroupOrderPolicy::Random(seed) => {
+                use rand::seq::SliceRandom;
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let mut v: Vec<EdgeId> = dag.edges().iter().map(|e| e.id).collect();
+                v.shuffle(&mut rng);
+                v
+            }
+        };
+        let order: Vec<EdgeId> = raw_order
+            .into_iter()
+            .filter(|e| ungrouped.contains(e))
+            .collect();
+
+        let mut committed = None;
+        for e in order {
+            let edge = dag.edge(e);
+            // Tentatively group sᵢ and sⱼ (merging their whole groups).
+            let mut trial_groups = groups.clone();
+            trial_groups.union(edge.src, edge.dst);
+            let trial_mask = trial_groups.colocation_mask(dag);
+            let trial_assignment = compute_dop(dag, model, &trial_mask, objective, c.max(1));
+            if can_place_with(
+                dag,
+                &trial_assignment.dop,
+                &trial_groups,
+                rm,
+                opts.gather_decomposition,
+                opts.fit_strategy,
+            )
+            .is_some()
+            {
+                groups = trial_groups;
+                colocated = trial_mask;
+                assignment = trial_assignment;
+                committed = Some(e);
+                break;
+            }
+            // else: undo (nothing was mutated) and try the next edge.
+        }
+        match committed {
+            Some(e) => ungrouped.retain(|&x| x != e),
+            None => break, // no edge in E_u groupable → done
+        }
+    }
+
+    let plan = can_place_with(
+        dag,
+        &assignment.dop,
+        &groups,
+        rm,
+        opts.gather_decomposition,
+        opts.fit_strategy,
+    )
+    .expect("committed configuration was verified placeable");
+    // An edge is effectively colocated only when both endpoints ended on
+    // the same server set; group membership is exactly that by
+    // construction (groups place wholly on one server, or into aligned
+    // gather chunks).
+    Schedule {
+        scheduler: format!("ditto-{objective}"),
+        dop: assignment.dop,
+        group_of: groups.group_of(n),
+        groups: groups.groups(n),
+        colocated,
+        placement: plan.stage_placement,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::{predicted_cost, predicted_jct};
+    use ditto_dag::generators;
+    use ditto_timemodel::model::RateConfig;
+
+    fn setup(free: &[u32]) -> (JobDag, JobTimeModel, ResourceManager) {
+        let dag = generators::q95_shape();
+        let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+        let rm = ResourceManager::from_free_slots(free.to_vec());
+        (dag, model, rm)
+    }
+
+    use ditto_dag::JobDag;
+
+    #[test]
+    fn produces_valid_schedule() {
+        let (dag, model, rm) = setup(&[96, 50, 30, 20, 12, 8, 6, 4]);
+        let s = joint_optimize(&dag, &model, &rm, Objective::Jct, &JointOptions::default());
+        s.validate(&dag).unwrap();
+        assert!(s.total_slots() <= rm.total_free());
+        assert!(s.groups.len() <= dag.num_stages());
+    }
+
+    #[test]
+    fn groups_heavy_edges_when_room() {
+        // A roomy cluster lets Ditto group aggressively.
+        let (dag, model, rm) = setup(&[96; 8]);
+        let s = joint_optimize(&dag, &model, &rm, Objective::Jct, &JointOptions::default());
+        let grouped_edges = s.colocated.iter().filter(|&&c| c).count();
+        assert!(grouped_edges > 0, "roomy cluster should co-locate something");
+    }
+
+    #[test]
+    fn tight_cluster_groups_less() {
+        let (dag, model, roomy) = setup(&[96; 8]);
+        let tight = ResourceManager::from_free_slots(vec![10; 8]);
+        let s_roomy = joint_optimize(&dag, &model, &roomy, Objective::Jct, &JointOptions::default());
+        let s_tight = joint_optimize(&dag, &model, &tight, Objective::Jct, &JointOptions::default());
+        let g_roomy = s_roomy.colocated.iter().filter(|&&c| c).count();
+        let g_tight = s_tight.colocated.iter().filter(|&&c| c).count();
+        assert!(g_tight <= g_roomy);
+        s_tight.validate(&dag).unwrap();
+    }
+
+    /// Inequality 6: the predicted objective after joint optimization is no
+    /// worse than the ungrouped DoP-ratio baseline.
+    #[test]
+    fn objective_non_increasing_vs_baseline() {
+        for obj in [Objective::Jct, Objective::Cost] {
+            let (dag, model, rm) = setup(&[96, 50, 30, 20, 12, 8, 6, 4]);
+            let c = rm.total_free();
+            let base = compute_dop(&dag, &model, &model.no_colocation(), obj, c);
+            let s = joint_optimize(&dag, &model, &rm, obj, &JointOptions::default());
+            let frac: Vec<f64> = s.dop.iter().map(|&d| d as f64).collect();
+            let base_frac = base.fractional.clone();
+            let (before, after) = match obj {
+                Objective::Jct => (
+                    predicted_jct(&dag, &model, &base_frac, &model.no_colocation()),
+                    predicted_jct(&dag, &model, &frac, &s.colocated),
+                ),
+                Objective::Cost => (
+                    predicted_cost(&dag, &model, &base_frac, &model.no_colocation()),
+                    predicted_cost(&dag, &model, &frac, &s.colocated),
+                ),
+            };
+            // Allow rounding slack: integer DoPs vs fractional baseline.
+            assert!(
+                after <= before * 1.10,
+                "{obj}: after={after} before={before}"
+            );
+        }
+    }
+
+    #[test]
+    fn works_on_every_generator_shape() {
+        let shapes: Vec<JobDag> = vec![
+            generators::fig1_join(),
+            generators::q95_shape(),
+            generators::chain(6, 1 << 30, 0.5),
+            generators::fan_in(&[1 << 30, 2 << 30, 3 << 30], 0.1),
+            generators::diamond(1 << 30),
+        ];
+        for dag in shapes {
+            let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+            let rm = ResourceManager::from_free_slots(vec![48, 24, 12, 6]);
+            for obj in [Objective::Jct, Objective::Cost] {
+                let s = joint_optimize(&dag, &model, &rm, obj, &JointOptions::default());
+                s.validate(&dag).unwrap_or_else(|e| panic!("{}: {e}", dag.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (dag, model, rm) = setup(&[96, 50, 30, 20, 12, 8, 6, 4]);
+        let a = joint_optimize(&dag, &model, &rm, Objective::Jct, &JointOptions::default());
+        let b = joint_optimize(&dag, &model, &rm, Objective::Jct, &JointOptions::default());
+        assert_eq!(a.dop, b.dop);
+        assert_eq!(a.group_of, b.group_of);
+    }
+}

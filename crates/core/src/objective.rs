@@ -1,0 +1,34 @@
+//! Optimization objective: JCT or cost (user-specified, §3).
+
+use std::fmt;
+
+/// What the scheduler minimizes for a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Objective {
+    /// Minimize job completion time.
+    #[default]
+    Jct,
+    /// Minimize cost (Σ resource·time per task plus storage persistence).
+    Cost,
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Objective::Jct => "jct",
+            Objective::Cost => "cost",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_default() {
+        assert_eq!(Objective::Jct.to_string(), "jct");
+        assert_eq!(Objective::Cost.to_string(), "cost");
+        assert_eq!(Objective::default(), Objective::Jct);
+    }
+}

@@ -1,0 +1,98 @@
+//! Predicted JCT and cost of a configuration under the fitted time model.
+//!
+//! These are the objective functions `F(Dᵢ, Pᵢ)` of the paper's Inequality
+//! 6: the joint optimizer guarantees they never increase across iterations.
+
+use ditto_dag::paths::{critical_path, DagWeights};
+use ditto_dag::JobDag;
+use ditto_timemodel::JobTimeModel;
+
+/// Predicted job completion time: the critical-path length of the DAG with
+/// node weights `T(s, d, P)`. Edge I/O is already folded into the stage
+/// times (read steps belong to the consumer, write steps to the producer),
+/// so edges carry no separate weight.
+///
+/// `dop` may be fractional (the optimizer reasons over real-valued DoPs;
+/// Inequality 6 holds exactly there) or the rounded integers of a final
+/// schedule.
+pub fn predicted_jct(dag: &JobDag, model: &JobTimeModel, dop: &[f64], colocated: &[bool]) -> f64 {
+    let mut w = DagWeights::zeros(dag);
+    for s in dag.stages() {
+        let d = dop[s.id.index()].max(1e-9);
+        w.node[s.id.index()] = model.exec_time(dag, s.id, d, colocated);
+    }
+    critical_path(dag, &w).weight
+}
+
+/// Predicted job cost: `Σ M(s, d) · T(s, d, P)` over all stages (GB·s).
+/// Storage persistence cost is an execution-time quantity and is accounted
+/// by the simulator, not the predictor — the paper's scheduler likewise
+/// optimizes the compute product only (§4.2).
+pub fn predicted_cost(dag: &JobDag, model: &JobTimeModel, dop: &[f64], colocated: &[bool]) -> f64 {
+    dag.stages()
+        .iter()
+        .map(|s| {
+            let d = dop[s.id.index()].max(1e-9);
+            model.stage_cost(dag, s.id, d, colocated)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ditto_dag::generators;
+    use ditto_timemodel::model::RateConfig;
+
+    #[test]
+    fn jct_is_critical_path_not_sum() {
+        let dag = generators::fig1_join();
+        let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+        let none = model.no_colocation();
+        let dop = vec![10.0, 10.0, 10.0];
+        let jct = predicted_jct(&dag, &model, &dop, &none);
+        let t = |i: u32| model.exec_time(&dag, ditto_dag::StageId(i), 10.0, &none);
+        // Two parallel maps then the join: JCT = max(map1, map2) + join.
+        let expect = t(0).max(t(1)) + t(2);
+        assert!((jct - expect).abs() < 1e-9);
+        assert!(jct < t(0) + t(1) + t(2));
+    }
+
+    #[test]
+    fn more_slots_lower_jct() {
+        let dag = generators::q95_shape();
+        let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+        let none = model.no_colocation();
+        let lo = vec![4.0; dag.num_stages()];
+        let hi = vec![32.0; dag.num_stages()];
+        assert!(
+            predicted_jct(&dag, &model, &hi, &none) < predicted_jct(&dag, &model, &lo, &none)
+        );
+    }
+
+    #[test]
+    fn colocation_lowers_both_objectives() {
+        let dag = generators::q95_shape();
+        let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+        let none = model.no_colocation();
+        let all = vec![true; dag.num_edges()];
+        let dop = vec![16.0; dag.num_stages()];
+        assert!(predicted_jct(&dag, &model, &dop, &all) < predicted_jct(&dag, &model, &dop, &none));
+        assert!(
+            predicted_cost(&dag, &model, &dop, &all) < predicted_cost(&dag, &model, &dop, &none)
+        );
+    }
+
+    #[test]
+    fn cost_sums_all_stages() {
+        let dag = generators::fig1_join();
+        let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+        let none = model.no_colocation();
+        let dop = vec![5.0, 5.0, 5.0];
+        let total = predicted_cost(&dag, &model, &dop, &none);
+        let manual: f64 = (0..3)
+            .map(|i| model.stage_cost(&dag, ditto_dag::StageId(i), 5.0, &none))
+            .sum();
+        assert!((total - manual).abs() < 1e-9);
+    }
+}

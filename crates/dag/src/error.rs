@@ -1,0 +1,60 @@
+//! Error type for DAG construction and validation.
+
+use crate::stage::StageId;
+use std::fmt;
+
+/// Errors raised while building or validating a [`crate::JobDag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// An edge references a stage id that does not exist in the DAG.
+    UnknownStage(StageId),
+    /// An edge was added with identical source and destination.
+    SelfLoop(StageId),
+    /// The same (src, dst) dependency was added twice.
+    DuplicateEdge(StageId, StageId),
+    /// The graph contains a cycle; the id is one stage on the cycle.
+    Cycle(StageId),
+    /// Two stages were given the same name.
+    DuplicateName(String),
+    /// The DAG has no stages at all.
+    Empty,
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::UnknownStage(s) => write!(f, "edge references unknown stage {s}"),
+            DagError::SelfLoop(s) => write!(f, "self-loop on stage {s}"),
+            DagError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            DagError::Cycle(s) => write!(f, "cycle detected through stage {s}"),
+            DagError::DuplicateName(n) => write!(f, "duplicate stage name {n:?}"),
+            DagError::Empty => write!(f, "DAG has no stages"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            DagError::UnknownStage(StageId(3)).to_string(),
+            "edge references unknown stage s3"
+        );
+        assert_eq!(DagError::SelfLoop(StageId(1)).to_string(), "self-loop on stage s1");
+        assert_eq!(
+            DagError::DuplicateEdge(StageId(0), StageId(1)).to_string(),
+            "duplicate edge s0 -> s1"
+        );
+        assert_eq!(DagError::Cycle(StageId(2)).to_string(), "cycle detected through stage s2");
+        assert_eq!(
+            DagError::DuplicateName("map".into()).to_string(),
+            "duplicate stage name \"map\""
+        );
+        assert_eq!(DagError::Empty.to_string(), "DAG has no stages");
+    }
+}

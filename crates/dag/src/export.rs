@@ -1,0 +1,155 @@
+//! Graphviz (DOT) export of job DAGs.
+//!
+//! `to_dot` renders the bare DAG; `to_dot_grouped` colors stages by an
+//! assigned group index (Ditto's stage groups), making co-location
+//! decisions visible at a glance:
+//!
+//! ```sh
+//! cargo run --example quickstart | …  # or programmatically:
+//! ```
+//!
+//! ```
+//! use ditto_dag::{generators, export};
+//! let dag = generators::fig1_join();
+//! let dot = export::to_dot(&dag);
+//! assert!(dot.contains("digraph"));
+//! ```
+
+use crate::graph::{EdgeKind, JobDag};
+
+/// Pleasant, color-blind-safe fill colors cycled per group.
+const GROUP_COLORS: &[&str] = &[
+    "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+];
+
+fn human_bytes(b: u64) -> String {
+    match b {
+        b if b >= 1 << 30 => format!("{:.1}GB", b as f64 / (1u64 << 30) as f64),
+        b if b >= 1 << 20 => format!("{:.1}MB", b as f64 / (1u64 << 20) as f64),
+        b if b >= 1 << 10 => format!("{:.1}KB", b as f64 / 1024.0),
+        b => format!("{b}B"),
+    }
+}
+
+fn edge_style(kind: EdgeKind) -> &'static str {
+    match kind {
+        EdgeKind::Shuffle => "solid",
+        EdgeKind::Gather => "dashed",
+        EdgeKind::AllGather => "bold",
+    }
+}
+
+/// Render the DAG as Graphviz DOT.
+pub fn to_dot(dag: &JobDag) -> String {
+    to_dot_impl(dag, None, None)
+}
+
+/// Render with group coloring and per-stage DoP labels (`group_of` and
+/// `dop` indexed by stage).
+pub fn to_dot_grouped(dag: &JobDag, group_of: &[usize], dop: &[u32]) -> String {
+    to_dot_impl(dag, Some(group_of), Some(dop))
+}
+
+fn to_dot_impl(dag: &JobDag, group_of: Option<&[usize]>, dop: Option<&[u32]>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {:?} {{", dag.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, style=\"rounded,filled\", fontname=\"sans-serif\"];");
+    for s in dag.stages() {
+        let mut label = format!("{}\\n[{}]", s.name, s.kind);
+        if let Some(d) = dop {
+            let _ = write!(label, "\\ndop={}", d[s.id.index()]);
+        }
+        let color = group_of
+            .map(|g| GROUP_COLORS[g[s.id.index()] % GROUP_COLORS.len()])
+            .unwrap_or("#eeeeee");
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\", fillcolor=\"{}\"];",
+            s.id.index(),
+            label,
+            color
+        );
+    }
+    for e in dag.edges() {
+        let mut attrs = format!(
+            "label=\"{}\", style={}",
+            human_bytes(e.bytes),
+            edge_style(e.kind)
+        );
+        if e.pipelined {
+            attrs.push_str(", color=blue");
+        }
+        let _ = writeln!(
+            out,
+            "  {} -> {} [{}];",
+            e.src.index(),
+            e.dst.index(),
+            attrs
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn renders_basic_dot() {
+        let dag = generators::fig1_join();
+        let dot = to_dot(&dag);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("map1"));
+        assert!(dot.contains("join"));
+        assert!(dot.contains("->"));
+        // Edge labels carry the shuffle volumes (800 MB / 200 MB).
+        assert!(dot.contains("800.0MB"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn grouped_rendering_colors_and_labels() {
+        let dag = generators::fig1_join();
+        let dot = to_dot_grouped(&dag, &[0, 1, 1], &[10, 4, 6]);
+        assert!(dot.contains("dop=10"));
+        // Stages 1 and 2 share a group → same fill color; stage 0 differs.
+        let color_of = |idx: usize| {
+            dot.lines()
+                .find(|l| l.trim_start().starts_with(&format!("{idx} [")))
+                .and_then(|l| l.split("fillcolor=\"").nth(1))
+                .map(|s| s.split('"').next().unwrap().to_string())
+                .unwrap()
+        };
+        assert_eq!(color_of(1), color_of(2));
+        assert_ne!(color_of(0), color_of(1));
+    }
+
+    #[test]
+    fn edge_kinds_have_distinct_styles() {
+        let dag = generators::q95_shape();
+        let dot = to_dot(&dag);
+        assert!(dot.contains("style=solid"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("style=bold"));
+    }
+
+    #[test]
+    fn pipelined_edges_highlighted() {
+        let mut dag = generators::chain(2, 1 << 20, 0.5);
+        dag.set_pipelined(crate::EdgeId(0), true);
+        let dot = to_dot(&dag);
+        assert!(dot.contains("color=blue"));
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512B");
+        assert_eq!(human_bytes(2048), "2.0KB");
+        assert_eq!(human_bytes(3 << 20), "3.0MB");
+        assert_eq!(human_bytes(5 << 30), "5.0GB");
+    }
+}

@@ -1,0 +1,251 @@
+//! Path enumeration and weighted critical-path computation.
+//!
+//! The greedy grouping algorithm (paper §4.3) repeatedly finds the critical
+//! path of the DAG under node weights (compute time, or resource·compute for
+//! the cost objective) and edge weights (shuffle write+read time, zeroed
+//! once the two endpoint stages are grouped).
+
+use crate::graph::{EdgeId, JobDag};
+use crate::stage::StageId;
+
+/// Node and edge weights over a [`JobDag`], indexed by id.
+///
+/// Weights are non-negative `f64`s; the semantics (seconds, dollars, …)
+/// belong to the caller.
+#[derive(Debug, Clone)]
+pub struct DagWeights {
+    /// `node[StageId::index()]`.
+    pub node: Vec<f64>,
+    /// `edge[EdgeId::index()]`.
+    pub edge: Vec<f64>,
+}
+
+impl DagWeights {
+    /// Zero weights sized for `dag`.
+    pub fn zeros(dag: &JobDag) -> Self {
+        DagWeights {
+            node: vec![0.0; dag.num_stages()],
+            edge: vec![0.0; dag.num_edges()],
+        }
+    }
+
+    /// Weight of a stage.
+    pub fn node_weight(&self, s: StageId) -> f64 {
+        self.node[s.index()]
+    }
+
+    /// Weight of an edge.
+    pub fn edge_weight(&self, e: EdgeId) -> f64 {
+        self.edge[e.index()]
+    }
+}
+
+/// A directed path: alternating stages and the edges between them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Stages along the path, upstream to downstream.
+    pub stages: Vec<StageId>,
+    /// Edges along the path; `edges.len() == stages.len() - 1`.
+    pub edges: Vec<EdgeId>,
+    /// Total weight (Σ node + Σ edge) under the weights it was computed for.
+    pub weight: f64,
+}
+
+impl Path {
+    /// Number of stages on the path.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// `true` if the path has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+/// The critical path: the maximum-weight directed path from any initial
+/// stage to any final stage, where a path's weight is the sum of its node
+/// and edge weights. Computed by dynamic programming over the topological
+/// order, O(V + E).
+///
+/// Ties are broken deterministically toward smaller stage ids.
+pub fn critical_path(dag: &JobDag, w: &DagWeights) -> Path {
+    let order = dag
+        .topo_order()
+        .expect("critical_path requires an acyclic DAG");
+    // best[s] = max weight of a path ending at s (inclusive of s's node
+    // weight); pred[s] = edge taken into s on that path.
+    let n = dag.num_stages();
+    let mut best = vec![f64::NEG_INFINITY; n];
+    let mut pred: Vec<Option<EdgeId>> = vec![None; n];
+    for &s in &order {
+        let own = w.node_weight(s);
+        let mut b = own; // start of a path
+        let mut p = None;
+        for e in dag.in_edges(s) {
+            let cand = best[e.src.index()] + w.edge_weight(e.id) + own;
+            // Strictly better, or a tie against "start a fresh path here":
+            // prefer the longer path through a parent so zero-weight DAGs
+            // still yield maximal paths (greedy grouping needs edges to
+            // traverse even when all remaining weights are equal).
+            if cand > b + 1e-15 || (p.is_none() && cand >= b - 1e-15) {
+                b = cand;
+                p = Some(e.id);
+            }
+        }
+        best[s.index()] = b;
+        pred[s.index()] = p;
+    }
+    // Pick the best final stage.
+    let mut end: Option<StageId> = None;
+    for s in dag.final_stages() {
+        if end.is_none_or(|cur| best[s.index()] > best[cur.index()] + 1e-15) {
+            end = Some(s);
+        }
+    }
+    let end = end.expect("non-empty DAG has a final stage");
+    // Reconstruct.
+    let mut stages = vec![end];
+    let mut edges = Vec::new();
+    let mut cur = end;
+    while let Some(e) = pred[cur.index()] {
+        edges.push(e);
+        cur = dag.edge(e).src;
+        stages.push(cur);
+    }
+    stages.reverse();
+    edges.reverse();
+    Path {
+        stages,
+        edges,
+        weight: best[end.index()],
+    }
+}
+
+/// Enumerate every maximal path (initial stage → final stage). Exponential
+/// in the worst case; intended for tests and small motivating DAGs, not for
+/// the scheduler hot path.
+pub fn all_paths(dag: &JobDag) -> Vec<Path> {
+    let mut out = Vec::new();
+    for start in dag.initial_stages() {
+        let mut stack = vec![(start, vec![start], Vec::new())];
+        while let Some((s, stages, edges)) = stack.pop() {
+            let mut is_final = true;
+            for e in dag.out_edges(s) {
+                is_final = false;
+                let mut st = stages.clone();
+                st.push(e.dst);
+                let mut ed = edges.clone();
+                ed.push(e.id);
+                stack.push((e.dst, st, ed));
+            }
+            if is_final {
+                out.push(Path {
+                    stages,
+                    edges,
+                    weight: 0.0,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Weight of an explicit path under `w`.
+pub fn path_weight(path: &Path, w: &DagWeights) -> f64 {
+    let nodes: f64 = path.stages.iter().map(|&s| w.node_weight(s)).sum();
+    let edges: f64 = path.edges.iter().map(|&e| w.edge_weight(e)).sum();
+    nodes + edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeKind;
+    use crate::stage::StageKind;
+
+    /// Fig. 6b-style DAG: two two-stage paths into a shared sink.
+    fn two_paths() -> (JobDag, Vec<StageId>) {
+        let mut g = JobDag::new("t");
+        let a1 = g.add_stage("a1", StageKind::Map);
+        let a2 = g.add_stage("a2", StageKind::Map);
+        let b1 = g.add_stage("b1", StageKind::Map);
+        let b2 = g.add_stage("b2", StageKind::Map);
+        let sink = g.add_stage("sink", StageKind::Reduce);
+        g.add_edge(a1, a2, EdgeKind::Shuffle, 0).unwrap(); // e0
+        g.add_edge(b1, b2, EdgeKind::Shuffle, 0).unwrap(); // e1
+        g.add_edge(a2, sink, EdgeKind::Shuffle, 0).unwrap(); // e2
+        g.add_edge(b2, sink, EdgeKind::Shuffle, 0).unwrap(); // e3
+        (g, vec![a1, a2, b1, b2, sink])
+    }
+
+    #[test]
+    fn critical_path_picks_heavier_branch() {
+        let (g, s) = two_paths();
+        let mut w = DagWeights::zeros(&g);
+        // Path via a: nodes 20+20, edges 100 (e0) + 50 (e2) -> 190 + sink
+        // Path via b: nodes 10+20, edges 120 (e1) + 80 (e3) -> 230 + sink
+        w.node[s[0].index()] = 20.0;
+        w.node[s[1].index()] = 20.0;
+        w.node[s[2].index()] = 10.0;
+        w.node[s[3].index()] = 20.0;
+        w.node[s[4].index()] = 5.0;
+        w.edge[0] = 100.0;
+        w.edge[1] = 120.0;
+        w.edge[2] = 50.0;
+        w.edge[3] = 80.0;
+        let cp = critical_path(&g, &w);
+        assert_eq!(cp.stages, vec![s[2], s[3], s[4]]);
+        assert!((cp.weight - 235.0).abs() < 1e-9);
+        assert_eq!(path_weight(&cp, &w), cp.weight);
+    }
+
+    #[test]
+    fn critical_path_updates_when_edge_zeroed() {
+        // Grouping the heaviest edge moves the critical path — the loop at
+        // the heart of greedy grouping (Fig. 6b).
+        let (g, s) = two_paths();
+        let mut w = DagWeights::zeros(&g);
+        w.edge[1] = 120.0;
+        w.edge[0] = 100.0;
+        let cp1 = critical_path(&g, &w);
+        assert_eq!(cp1.stages[0], s[2]);
+        w.edge[1] = 0.0; // group b1-b2
+        let cp2 = critical_path(&g, &w);
+        assert_eq!(cp2.stages[0], s[0]);
+    }
+
+    #[test]
+    fn single_stage_path() {
+        let mut g = JobDag::new("one");
+        let a = g.add_stage("a", StageKind::Map);
+        let mut w = DagWeights::zeros(&g);
+        w.node[0] = 7.0;
+        let cp = critical_path(&g, &w);
+        assert_eq!(cp.stages, vec![a]);
+        assert!(cp.edges.is_empty());
+        assert_eq!(cp.weight, 7.0);
+        assert_eq!(cp.len(), 1);
+        assert!(!cp.is_empty());
+    }
+
+    #[test]
+    fn all_paths_enumerates_both() {
+        let (g, _) = two_paths();
+        let ps = all_paths(&g);
+        assert_eq!(ps.len(), 2);
+        for p in &ps {
+            assert_eq!(p.stages.len(), 3);
+            assert_eq!(p.edges.len(), 2);
+        }
+    }
+
+    #[test]
+    fn zero_weights_give_longest_hop_free_path() {
+        let (g, _) = two_paths();
+        let w = DagWeights::zeros(&g);
+        let cp = critical_path(&g, &w);
+        assert_eq!(cp.weight, 0.0);
+        assert_eq!(cp.stages.len(), 3);
+    }
+}

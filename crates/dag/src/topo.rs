@@ -1,0 +1,101 @@
+//! Reachability and ancestry queries over a [`JobDag`].
+
+use crate::graph::JobDag;
+use crate::stage::StageId;
+use std::collections::HashSet;
+
+/// All stages reachable downstream from `from` (excluding `from` itself).
+pub fn descendants(dag: &JobDag, from: StageId) -> HashSet<StageId> {
+    let mut seen = HashSet::new();
+    let mut stack: Vec<StageId> = dag.children_of(from).collect();
+    while let Some(s) = stack.pop() {
+        if seen.insert(s) {
+            stack.extend(dag.children_of(s));
+        }
+    }
+    seen
+}
+
+/// All stages reachable upstream from `from` (excluding `from` itself).
+pub fn ancestors(dag: &JobDag, from: StageId) -> HashSet<StageId> {
+    let mut seen = HashSet::new();
+    let mut stack: Vec<StageId> = dag.parents_of(from).collect();
+    while let Some(s) = stack.pop() {
+        if seen.insert(s) {
+            stack.extend(dag.parents_of(s));
+        }
+    }
+    seen
+}
+
+/// `true` if there is a directed path `a -> ... -> b`.
+pub fn reaches(dag: &JobDag, a: StageId, b: StageId) -> bool {
+    if a == b {
+        return true;
+    }
+    descendants(dag, a).contains(&b)
+}
+
+/// Sibling stages of `s`: stages (≠ `s`) that share at least one downstream
+/// consumer with `s`. In the paper's tree setting these are the stages whose
+/// execution times the inter-path DoP ratio balances.
+pub fn siblings(dag: &JobDag, s: StageId) -> Vec<StageId> {
+    let mut out: Vec<StageId> = Vec::new();
+    let mut seen = HashSet::new();
+    for parent in dag.children_of(s) {
+        for sib in dag.parents_of(parent) {
+            if sib != s && seen.insert(sib) {
+                out.push(sib);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeKind;
+    use crate::stage::StageKind;
+
+    fn sample() -> (JobDag, Vec<StageId>) {
+        // a -> c, b -> c, c -> d
+        let mut g = JobDag::new("t");
+        let a = g.add_stage("a", StageKind::Map);
+        let b = g.add_stage("b", StageKind::Map);
+        let c = g.add_stage("c", StageKind::Join);
+        let d = g.add_stage("d", StageKind::Reduce);
+        g.add_edge(a, c, EdgeKind::Shuffle, 1).unwrap();
+        g.add_edge(b, c, EdgeKind::Shuffle, 1).unwrap();
+        g.add_edge(c, d, EdgeKind::Gather, 1).unwrap();
+        (g, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn descendants_and_ancestors() {
+        let (g, s) = sample();
+        assert_eq!(descendants(&g, s[0]), [s[2], s[3]].into_iter().collect());
+        assert_eq!(ancestors(&g, s[3]), [s[0], s[1], s[2]].into_iter().collect());
+        assert!(descendants(&g, s[3]).is_empty());
+        assert!(ancestors(&g, s[0]).is_empty());
+    }
+
+    #[test]
+    fn reaches_works() {
+        let (g, s) = sample();
+        assert!(reaches(&g, s[0], s[3]));
+        assert!(reaches(&g, s[1], s[2]));
+        assert!(!reaches(&g, s[0], s[1]));
+        assert!(reaches(&g, s[2], s[2]));
+    }
+
+    #[test]
+    fn siblings_share_a_consumer() {
+        let (g, s) = sample();
+        assert_eq!(siblings(&g, s[0]), vec![s[1]]);
+        assert_eq!(siblings(&g, s[1]), vec![s[0]]);
+        assert!(siblings(&g, s[2]).is_empty());
+        assert!(siblings(&g, s[3]).is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # ditto-exec — execution engines for scheduled jobs
+//!
+//! Two execution paths, sharing the `Schedule` produced by `ditto-core`:
+//!
+//! * **Simulation** ([`sim`]): a discrete-event simulator that plays a
+//!   schedule against a *ground-truth* performance model
+//!   ([`groundtruth`]) — per-task data skew, deterministic straggler
+//!   noise, medium-dependent transfer times (shared memory / Redis / S3).
+//!   The ground truth deliberately differs from the scheduler's fitted
+//!   `α/d + β` model the way reality differs from a regression: that gap
+//!   is what the paper's Fig. 11 measures. The simulator yields the JCT,
+//!   cost and per-task timeline ([`trace`]) behind every evaluation
+//!   figure.
+//! * **Local runtime** ([`runner`]): a real multi-threaded executor that
+//!   physically runs a `ditto-sql` query plan under a schedule — tasks on
+//!   worker threads, intermediate tables encoded through the
+//!   `ditto-storage` data plane (zero-copy shared-memory bus when the
+//!   schedule co-locates, object store otherwise). It exists to prove the
+//!   scheduling machinery drives a working analytics system, and to
+//!   cross-check distributed results against single-threaded references.
+//!
+//! [`profile`] generates recurring-job profiles by "running" stages at a
+//! few DoPs in the simulator — the input to `ditto-timemodel`'s fitting
+//! (Table 2) and the accuracy experiment (Fig. 11).
+
+pub mod groundtruth;
+pub mod metrics;
+pub mod multi;
+pub mod profile;
+pub mod runner;
+pub mod sim;
+pub mod trace;
+
+pub use groundtruth::{ExecConfig, GroundTruth};
+pub use metrics::JobMetrics;
+pub use profile::profile_job;
+pub use runner::LocalRuntime;
+pub use sim::simulate;
+pub use trace::{ExecutionTrace, StageBreakdown, TaskTrace};

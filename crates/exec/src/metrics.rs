@@ -1,0 +1,53 @@
+//! Job-level metrics: JCT and cost.
+
+/// Metrics of one job execution.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct JobMetrics {
+    /// Job completion time, seconds (submission → last task end).
+    pub jct: f64,
+    /// Compute cost: Σ memory×time over tasks, GB·s.
+    pub compute_cost: f64,
+    /// Storage persistence cost (shared memory + Redis; S3 free), GB·s
+    /// priced.
+    pub storage_cost: f64,
+}
+
+impl JobMetrics {
+    /// Total cost (compute + storage persistence) — the paper's cost
+    /// metric.
+    pub fn total_cost(&self) -> f64 {
+        self.compute_cost + self.storage_cost
+    }
+
+    /// `self` relative to a baseline: `(jct_speedup, cost_ratio)` where
+    /// speedup > 1 means `self` is faster/cheaper.
+    pub fn vs(&self, baseline: &JobMetrics) -> (f64, f64) {
+        (
+            baseline.jct / self.jct,
+            baseline.total_cost() / self.total_cost(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_and_ratio() {
+        let a = JobMetrics {
+            jct: 10.0,
+            compute_cost: 100.0,
+            storage_cost: 20.0,
+        };
+        let b = JobMetrics {
+            jct: 25.0,
+            compute_cost: 180.0,
+            storage_cost: 0.0,
+        };
+        assert_eq!(a.total_cost(), 120.0);
+        let (speedup, cost_ratio) = a.vs(&b);
+        assert!((speedup - 2.5).abs() < 1e-12);
+        assert!((cost_ratio - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,301 @@
+//! Discrete-event simulation of a scheduled job.
+//!
+//! Dependencies are stage-granular: a stage's tasks may start once every
+//! upstream stage finished writing (intra-stage pipelining is modeled at
+//! the time-model level via pipelining annotations, §4.5, not replayed
+//! here). Task launch follows the NIMBLE just-in-time policy the paper
+//! adopts for both systems (§5 "Task launch time"): containers start
+//! `setup` seconds before their inputs are ready, so setup overlaps the
+//! upstream tail and idle waiting is avoided — which is exactly what makes
+//! late launching cost-neutral.
+
+use crate::groundtruth::GroundTruth;
+use crate::metrics::JobMetrics;
+use crate::trace::{ExecutionTrace, TaskTrace};
+use ditto_core::Schedule;
+use ditto_dag::JobDag;
+use ditto_storage::CostModel;
+
+/// Simulate `schedule` on `dag` under the ground truth. Returns the full
+/// trace plus job metrics.
+///
+/// ```
+/// use ditto_core::{DittoScheduler, Objective, Scheduler, SchedulingContext};
+/// use ditto_exec::{profile_job, simulate, ExecConfig, GroundTruth};
+///
+/// let dag = ditto_dag::generators::fig1_join();
+/// let gt = GroundTruth::new(ExecConfig::default());
+/// // Profile at a few DoPs, fit the model the scheduler will consume.
+/// let (model, _) = profile_job(&dag, &gt, &[2, 4, 8]).build_model(&dag);
+/// let rm = ditto_cluster::ResourceManager::from_free_slots(vec![10, 10]);
+/// let schedule = DittoScheduler::new().schedule(&SchedulingContext {
+///     dag: &dag, model: &model, resources: &rm, objective: Objective::Jct,
+/// });
+/// let (trace, metrics) = simulate(&dag, &schedule, &gt);
+/// assert!(metrics.jct > 0.0);
+/// assert_eq!(metrics.jct, trace.jct());
+/// ```
+pub fn simulate(dag: &JobDag, schedule: &Schedule, gt: &GroundTruth) -> (ExecutionTrace, JobMetrics) {
+    schedule
+        .validate(dag)
+        .expect("schedule must be valid for its DAG");
+    let order = dag.topo_order().expect("valid DAG");
+    let n = dag.num_stages();
+
+    // Per-stage completion of the write step (when downstream may read).
+    let mut stage_end = vec![0.0_f64; n];
+    // Per-stage earliest write start / latest read end (persistence cost).
+    let mut stage_write_start = vec![0.0_f64; n];
+    let mut stage_read_end = vec![0.0_f64; n];
+
+    let mut trace = ExecutionTrace::default();
+
+    for &s in &order {
+        // Non-pipelined edges gate on the producer's write completion;
+        // pipelined edges (§4.5) let the consumer start streaming at the
+        // producer's write *start*, but it cannot finish reading before the
+        // producer finishes emitting.
+        let mut ready = 0.0_f64;
+        let mut read_gate = 0.0_f64;
+        for e in dag.in_edges(s) {
+            if e.pipelined {
+                ready = ready.max(stage_write_start[e.src.index()]);
+                read_gate = read_gate.max(stage_end[e.src.index()]);
+            } else {
+                ready = ready.max(stage_end[e.src.index()]);
+            }
+        }
+        let steps = gt.stage_tasks(dag, schedule, s);
+        let d = schedule.dop[s.index()];
+        let mem = gt.task_memory_gb(dag, s, d);
+        let placement = &schedule.placement[s.index()];
+
+        let mut end = ready;
+        let mut wstart = f64::MAX;
+        let mut rend: f64 = 0.0;
+        for (t, st) in steps.iter().enumerate() {
+            // JIT launch: setup overlaps the wait for inputs.
+            let launch = (ready - st.setup).max(0.0);
+            let read_start = (launch + st.setup).max(ready);
+            let compute_start = (read_start + st.read).max(read_gate);
+            let write_start = compute_start + st.compute;
+            let task_end = write_start + st.write;
+            end = end.max(task_end);
+            wstart = wstart.min(write_start);
+            rend = rend.max(compute_start);
+            trace.tasks.push(TaskTrace {
+                stage: s.0,
+                task: t as u32,
+                server: placement.server_of_task(t as u32),
+                launch,
+                read_start,
+                compute_start,
+                write_start,
+                end: task_end,
+                memory_gb: mem,
+            });
+        }
+        stage_end[s.index()] = end;
+        stage_write_start[s.index()] = if wstart.is_finite() { wstart } else { end };
+        stage_read_end[s.index()] = rend;
+    }
+
+    // Storage persistence cost: every edge's volume is resident in its
+    // medium from the producer's first write until the consumer's last
+    // read completes.
+    let mut storage_cost = 0.0;
+    for e in dag.edges() {
+        let medium = gt.edge_medium(schedule, e.id.index());
+        let resident_from = stage_write_start[e.src.index()];
+        let resident_to = stage_read_end[e.dst.index()].max(resident_from);
+        storage_cost +=
+            CostModel::for_medium(medium).persistence_cost(e.bytes, resident_to - resident_from);
+    }
+
+    let metrics = JobMetrics {
+        jct: trace.jct(),
+        compute_cost: trace.compute_cost(),
+        storage_cost,
+    };
+    (trace, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groundtruth::ExecConfig;
+    use ditto_cluster::ResourceManager;
+    use ditto_core::baselines::{EvenSplitScheduler, NimbleScheduler};
+    use ditto_core::{DittoScheduler, Objective, Scheduler, SchedulingContext};
+    use ditto_storage::Medium;
+    use ditto_timemodel::model::RateConfig;
+    use ditto_timemodel::JobTimeModel;
+
+    fn run(
+        dag: &JobDag,
+        scheduler: &dyn Scheduler,
+        free: &[u32],
+        cfg: ExecConfig,
+    ) -> (ExecutionTrace, JobMetrics) {
+        let model = JobTimeModel::from_rates(dag, &RateConfig::default());
+        let rm = ResourceManager::from_free_slots(free.to_vec());
+        let schedule = scheduler.schedule(&SchedulingContext {
+            dag,
+            model: &model,
+            resources: &rm,
+            objective: Objective::Jct,
+        });
+        simulate(dag, &schedule, &GroundTruth::new(cfg))
+    }
+
+    #[test]
+    fn dependencies_are_respected() {
+        let dag = ditto_dag::generators::q95_shape();
+        let (trace, m) = run(
+            &dag,
+            &EvenSplitScheduler,
+            &[96; 8],
+            ExecConfig::default(),
+        );
+        assert!(m.jct > 0.0);
+        // Every task of a downstream stage starts reading after all its
+        // (non-pipelined) upstream stages' ends.
+        for e in dag.edges().iter().filter(|e| !e.pipelined) {
+            let src_end = trace.stage_end(e.src.0);
+            for t in trace.tasks.iter().filter(|t| t.stage == e.dst.0) {
+                assert!(
+                    t.read_start >= src_end - 1e-9,
+                    "task of stage {} reads at {} before upstream {} ends at {}",
+                    e.dst,
+                    t.read_start,
+                    e.src,
+                    src_end
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn setup_overlaps_wait() {
+        let dag = ditto_dag::generators::chain(2, 1 << 30, 0.5);
+        let (trace, _) = run(&dag, &EvenSplitScheduler, &[32], ExecConfig::default());
+        // Downstream tasks launch before their read_start by exactly setup.
+        let down: Vec<_> = trace.tasks.iter().filter(|t| t.stage == 1).collect();
+        for t in down {
+            assert!(t.launch < t.read_start);
+            assert!(t.read_start - t.launch <= ExecConfig::default().task_overhead + 1e-9);
+        }
+    }
+
+    #[test]
+    fn ditto_beats_nimble_on_q95_sim() {
+        let dag = ditto_dag::generators::q95_shape();
+        let free = [96, 48, 24, 18, 12, 10, 8, 6];
+        let cfg = ExecConfig::default();
+        let (_, nimble) = run(&dag, &NimbleScheduler::default(), &free, cfg.clone());
+        let (_, ditto) = run(&dag, &DittoScheduler::new(), &free, cfg);
+        let (speedup, _) = ditto.vs(&nimble);
+        assert!(
+            speedup > 1.0,
+            "ditto JCT {} should beat nimble {}",
+            ditto.jct,
+            nimble.jct
+        );
+    }
+
+    #[test]
+    fn redis_faster_than_s3() {
+        let dag = ditto_dag::generators::q95_shape();
+        let (_, s3) = run(
+            &dag,
+            &EvenSplitScheduler,
+            &[96; 8],
+            ExecConfig {
+                external: Medium::S3,
+                ..Default::default()
+            },
+        );
+        let (_, redis) = run(
+            &dag,
+            &EvenSplitScheduler,
+            &[96; 8],
+            ExecConfig {
+                external: Medium::Redis,
+                ..Default::default()
+            },
+        );
+        assert!(redis.jct < s3.jct);
+        // But Redis persistence is priced while S3's is not.
+        assert!(redis.storage_cost > s3.storage_cost);
+    }
+
+    #[test]
+    fn metrics_consistent_with_trace() {
+        let dag = ditto_dag::generators::fig1_join();
+        let (trace, m) = run(&dag, &EvenSplitScheduler, &[30, 30], ExecConfig::default());
+        assert!((m.jct - trace.jct()).abs() < 1e-12);
+        assert!((m.compute_cost - trace.compute_cost()).abs() < 1e-12);
+        assert!(m.total_cost() >= m.compute_cost);
+    }
+
+    #[test]
+    fn pipelining_overlaps_and_never_hurts() {
+        let mut dag = ditto_dag::generators::chain(3, 8 << 30, 0.8);
+        let cfg = ExecConfig {
+            skew: 0.0,
+            straggler_prob: 0.0,
+            jitter: 0.0,
+            ..Default::default()
+        };
+        let (_, plain) = run(&dag, &EvenSplitScheduler, &[48], cfg.clone());
+        dag.set_pipelined(ditto_dag::EdgeId(0), true);
+        dag.set_pipelined(ditto_dag::EdgeId(1), true);
+        let (trace, piped) = run(&dag, &EvenSplitScheduler, &[48], cfg);
+        assert!(
+            piped.jct < plain.jct,
+            "pipelining should shorten the chain: {} vs {}",
+            piped.jct,
+            plain.jct
+        );
+        // Consumers may start early, but cannot finish reading before the
+        // producer finishes writing.
+        for e in dag.edges() {
+            let src_end = trace.stage_end(e.src.0);
+            for t in trace.tasks.iter().filter(|t| t.stage == e.dst.0) {
+                assert!(t.read_start < src_end, "reads overlap the producer");
+                assert!(t.compute_start >= src_end - 1e-9, "but cannot outrun it");
+            }
+        }
+    }
+
+    #[test]
+    fn placement_capacity_never_exceeded() {
+        // No server hosts more concurrent tasks than it had free slots —
+        // for any scheduler, at any point in simulated time.
+        let free = [96u32, 48, 24, 18, 12, 10, 8, 6];
+        let dag = ditto_dag::generators::q95_shape();
+        for scheduler in [
+            &DittoScheduler::new() as &dyn Scheduler,
+            &NimbleScheduler::default(),
+            &EvenSplitScheduler,
+        ] {
+            let (trace, _) = run(&dag, scheduler, &free, ExecConfig::default());
+            for (server, peak) in trace.peak_server_occupancy() {
+                assert!(
+                    peak <= free[server as usize],
+                    "{}: server {server} peaked at {peak} > {} free slots",
+                    scheduler.name(),
+                    free[server as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let dag = ditto_dag::generators::q95_shape();
+        let a = run(&dag, &DittoScheduler::new(), &[96; 8], ExecConfig::default());
+        let b = run(&dag, &DittoScheduler::new(), &[96; 8], ExecConfig::default());
+        assert_eq!(a.1, b.1);
+    }
+}

@@ -1,0 +1,364 @@
+//! Execution traces: per-task timelines and per-stage breakdowns.
+//!
+//! The simulator emits a [`TaskTrace`] per task; aggregations over them
+//! regenerate the paper's Fig. 14 (per-stage step breakdown) and Fig. 15
+//! (stage-and-task Gantt view of fixed vs elastic parallelism).
+
+use ditto_cluster::ServerId;
+
+/// One task's timeline (all times are seconds since job submission).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct TaskTrace {
+    /// Stage index.
+    pub stage: u32,
+    /// Task index within the stage.
+    pub task: u32,
+    /// Server the task ran on.
+    pub server: ServerId,
+    /// Launch (container start).
+    pub launch: f64,
+    /// End of setup / start of read.
+    pub read_start: f64,
+    /// End of read / start of compute.
+    pub compute_start: f64,
+    /// End of compute / start of write.
+    pub write_start: f64,
+    /// Task completion.
+    pub end: f64,
+    /// Memory footprint, GB.
+    pub memory_gb: f64,
+}
+
+impl TaskTrace {
+    /// Wall-clock duration.
+    pub fn duration(&self) -> f64 {
+        self.end - self.launch
+    }
+
+    /// Step durations `(setup, read, compute, write)`.
+    pub fn steps(&self) -> (f64, f64, f64, f64) {
+        (
+            self.read_start - self.launch,
+            self.compute_start - self.read_start,
+            self.write_start - self.compute_start,
+            self.end - self.write_start,
+        )
+    }
+}
+
+/// Mean per-step durations of one stage (the Fig. 14 bars).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct StageBreakdown {
+    /// Stage index.
+    pub stage: u32,
+    /// Number of tasks.
+    pub tasks: u32,
+    /// Stage start (earliest launch).
+    pub start: f64,
+    /// Stage end (latest task end).
+    pub end: f64,
+    /// Mean setup seconds.
+    pub setup: f64,
+    /// Mean read seconds.
+    pub read: f64,
+    /// Mean compute seconds.
+    pub compute: f64,
+    /// Mean write seconds.
+    pub write: f64,
+}
+
+/// A complete execution trace.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionTrace {
+    /// All task timelines, ordered by (stage, task).
+    pub tasks: Vec<TaskTrace>,
+}
+
+impl ExecutionTrace {
+    /// Job completion time: the latest task end.
+    pub fn jct(&self) -> f64 {
+        self.tasks.iter().map(|t| t.end).fold(0.0, f64::max)
+    }
+
+    /// Stage completion time.
+    pub fn stage_end(&self, stage: u32) -> f64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.stage == stage)
+            .map(|t| t.end)
+            .fold(0.0, f64::max)
+    }
+
+    /// Per-stage step breakdowns, ordered by stage index (Fig. 14).
+    pub fn stage_breakdowns(&self) -> Vec<StageBreakdown> {
+        let max_stage = self.tasks.iter().map(|t| t.stage).max().unwrap_or(0);
+        (0..=max_stage)
+            .filter_map(|s| {
+                let ts: Vec<&TaskTrace> = self.tasks.iter().filter(|t| t.stage == s).collect();
+                if ts.is_empty() {
+                    return None;
+                }
+                let n = ts.len() as f64;
+                let sum4 = ts.iter().fold((0.0, 0.0, 0.0, 0.0), |acc, t| {
+                    let (a, b, c, d) = t.steps();
+                    (acc.0 + a, acc.1 + b, acc.2 + c, acc.3 + d)
+                });
+                Some(StageBreakdown {
+                    stage: s,
+                    tasks: ts.len() as u32,
+                    start: ts.iter().map(|t| t.launch).fold(f64::MAX, f64::min),
+                    end: ts.iter().map(|t| t.end).fold(f64::MIN, f64::max),
+                    setup: sum4.0 / n,
+                    read: sum4.1 / n,
+                    compute: sum4.2 / n,
+                    write: sum4.3 / n,
+                })
+            })
+            .collect()
+    }
+
+    /// Compute cost in GB·s: Σ memory × duration per task (the paper's
+    /// billing definition).
+    pub fn compute_cost(&self) -> f64 {
+        self.tasks.iter().map(|t| t.memory_gb * t.duration()).sum()
+    }
+
+    /// Peak concurrent tasks per server over the whole execution — the
+    /// invariant check that a schedule's placement is honored *in time*:
+    /// no server ever hosts more simultaneous tasks than it had free
+    /// slots. Computed exactly by a sweep over launch/end events.
+    pub fn peak_server_occupancy(&self) -> std::collections::HashMap<u32, u32> {
+        let mut events: Vec<(f64, i32, u32)> = Vec::with_capacity(self.tasks.len() * 2);
+        for t in &self.tasks {
+            events.push((t.launch, 1, t.server.0));
+            events.push((t.end, -1, t.server.0));
+        }
+        // Ends before starts at the same instant (half-open intervals).
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let mut current: std::collections::HashMap<u32, i32> = Default::default();
+        let mut peak: std::collections::HashMap<u32, u32> = Default::default();
+        for (_, delta, server) in events {
+            let c = current.entry(server).or_insert(0);
+            *c += delta;
+            let p = peak.entry(server).or_insert(0);
+            *p = (*p).max(*c as u32);
+        }
+        peak
+    }
+
+    /// Slot occupancy over time: sample the number of busy function slots
+    /// at `samples` evenly spaced instants across the job. This is the
+    /// quantity behind the paper's §4.5 utilization remark — slots
+    /// reserved for a job idle whenever its stages don't overlap.
+    pub fn utilization(&self, samples: usize) -> Vec<(f64, u32)> {
+        assert!(samples >= 2, "need at least two sample points");
+        let jct = self.jct();
+        (0..samples)
+            .map(|i| {
+                let t = jct * i as f64 / (samples - 1) as f64;
+                let busy = self
+                    .tasks
+                    .iter()
+                    .filter(|task| task.launch <= t && t < task.end)
+                    .count() as u32;
+                (t, busy)
+            })
+            .collect()
+    }
+
+    /// Mean slot occupancy over the job's lifetime as a fraction of
+    /// `total_slots` (1.0 = the reserved slots never idle).
+    pub fn mean_utilization(&self, total_slots: u32) -> f64 {
+        if total_slots == 0 {
+            return 0.0;
+        }
+        let jct = self.jct().max(1e-12);
+        let busy_slot_seconds: f64 = self.tasks.iter().map(|t| t.duration()).sum();
+        busy_slot_seconds / (jct * total_slots as f64)
+    }
+
+    /// Export the trace in Chrome Trace Event format (load in
+    /// `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)): one
+    /// duration event per step of every task, with the server as the
+    /// process and the task as the thread — the interactive version of
+    /// the paper's Fig. 15.
+    pub fn to_chrome_trace(&self) -> String {
+        #[derive(serde::Serialize)]
+        struct Event<'a> {
+            name: &'a str,
+            cat: &'a str,
+            ph: &'a str,
+            /// Microseconds.
+            ts: u64,
+            dur: u64,
+            pid: u32,
+            tid: u32,
+        }
+        let us = |secs: f64| (secs * 1e6).round() as u64;
+        let mut events = Vec::with_capacity(self.tasks.len() * 4);
+        for t in &self.tasks {
+            let tid = t.stage * 10_000 + t.task;
+            let (setup, read, compute, write) = t.steps();
+            for (name, start, dur) in [
+                ("setup", t.launch, setup),
+                ("read", t.read_start, read),
+                ("compute", t.compute_start, compute),
+                ("write", t.write_start, write),
+            ] {
+                if dur <= 0.0 {
+                    continue;
+                }
+                events.push(Event {
+                    name,
+                    cat: "task",
+                    ph: "X",
+                    ts: us(start),
+                    dur: us(dur),
+                    pid: t.server.0,
+                    tid,
+                });
+            }
+        }
+        serde_json::to_string(&events).expect("events serialize")
+    }
+
+    /// Render an ASCII Gantt of stages over time (Fig. 15's shape), with
+    /// `width` columns; one row per stage, bar spans start..end, the label
+    /// shows the task count.
+    pub fn ascii_gantt(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let jct = self.jct().max(1e-9);
+        let mut out = String::new();
+        for b in self.stage_breakdowns() {
+            let s = ((b.start / jct) * width as f64).round() as usize;
+            let e = (((b.end / jct) * width as f64).round() as usize).max(s + 1);
+            let mut row = vec![' '; width.max(e)];
+            for c in row.iter_mut().take(e).skip(s) {
+                *c = '█';
+            }
+            let bar: String = row.into_iter().collect();
+            let _ = writeln!(out, "stage {:>2} [{:>3} tasks] |{}|", b.stage, b.tasks, bar);
+        }
+        let _ = writeln!(out, "JCT = {jct:.2}s");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(stage: u32, task: u32, launch: f64, steps: (f64, f64, f64, f64)) -> TaskTrace {
+        let (s, r, c, w) = steps;
+        TaskTrace {
+            stage,
+            task,
+            server: ServerId(0),
+            launch,
+            read_start: launch + s,
+            compute_start: launch + s + r,
+            write_start: launch + s + r + c,
+            end: launch + s + r + c + w,
+            memory_gb: 2.0,
+        }
+    }
+
+    #[test]
+    fn steps_and_duration() {
+        let t = task(0, 0, 1.0, (0.5, 2.0, 3.0, 1.0));
+        assert_eq!(t.steps(), (0.5, 2.0, 3.0, 1.0));
+        assert!((t.duration() - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jct_is_latest_end() {
+        let tr = ExecutionTrace {
+            tasks: vec![
+                task(0, 0, 0.0, (0.1, 1.0, 1.0, 0.5)),
+                task(1, 0, 3.0, (0.1, 1.0, 2.0, 0.5)),
+            ],
+        };
+        assert!((tr.jct() - 6.6).abs() < 1e-9);
+        assert!((tr.stage_end(0) - 2.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_averages_tasks() {
+        let tr = ExecutionTrace {
+            tasks: vec![
+                task(0, 0, 0.0, (0.2, 1.0, 2.0, 1.0)),
+                task(0, 1, 0.0, (0.2, 3.0, 4.0, 1.0)),
+            ],
+        };
+        let b = tr.stage_breakdowns();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].tasks, 2);
+        assert!((b[0].read - 2.0).abs() < 1e-12);
+        assert!((b[0].compute - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_cost_sums_gb_seconds() {
+        let tr = ExecutionTrace {
+            tasks: vec![task(0, 0, 0.0, (0.0, 1.0, 1.0, 0.0))],
+        };
+        assert!((tr.compute_cost() - 4.0).abs() < 1e-12); // 2 GB × 2 s
+    }
+
+    #[test]
+    fn utilization_counts_busy_slots() {
+        let tr = ExecutionTrace {
+            tasks: vec![
+                task(0, 0, 0.0, (0.0, 1.0, 1.0, 0.0)), // busy 0..2
+                task(0, 1, 0.0, (0.0, 1.0, 1.0, 0.0)), // busy 0..2
+                task(1, 0, 2.0, (0.0, 1.0, 1.0, 0.0)), // busy 2..4
+            ],
+        };
+        let u = tr.utilization(5); // t = 0, 1, 2, 3, 4
+        assert_eq!(u.len(), 5);
+        assert_eq!(u[0].1, 2);
+        assert_eq!(u[1].1, 2);
+        assert_eq!(u[2].1, 1); // stage 0 ended exactly at 2
+        assert_eq!(u[3].1, 1);
+        assert_eq!(u[4].1, 0); // end instant exclusive
+        // Mean utilization: 6 busy slot-seconds over 4 s × 2 slots = 0.75.
+        assert!((tr.mean_utilization(2) - 0.75).abs() < 1e-12);
+        assert_eq!(tr.mean_utilization(0), 0.0);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_events() {
+        let tr = ExecutionTrace {
+            tasks: vec![
+                task(0, 0, 0.0, (0.1, 1.0, 1.0, 0.5)),
+                task(1, 0, 2.6, (0.1, 1.0, 1.0, 0.5)),
+            ],
+        };
+        let j = tr.to_chrome_trace();
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        let events = v.as_array().unwrap();
+        assert_eq!(events.len(), 8, "4 steps x 2 tasks");
+        assert!(events.iter().all(|e| e["ph"] == "X"));
+        // Zero-duration steps are dropped.
+        let tr2 = ExecutionTrace {
+            tasks: vec![task(0, 0, 0.0, (0.0, 1.0, 1.0, 0.0))],
+        };
+        let v2: serde_json::Value = serde_json::from_str(&tr2.to_chrome_trace()).unwrap();
+        assert_eq!(v2.as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let tr = ExecutionTrace {
+            tasks: vec![
+                task(0, 0, 0.0, (0.1, 1.0, 1.0, 0.5)),
+                task(1, 0, 2.6, (0.1, 1.0, 1.0, 0.5)),
+            ],
+        };
+        let g = tr.ascii_gantt(40);
+        assert!(g.contains("stage  0"));
+        assert!(g.contains("stage  1"));
+        assert!(g.contains("JCT"));
+        assert!(g.contains('█'));
+    }
+}

@@ -1,0 +1,251 @@
+//! Typed columns: the storage unit of the engine.
+
+use std::fmt;
+
+/// A typed column of values. Strings are owned; numeric columns are dense
+/// vectors. No null support — the synthetic generator emits complete data,
+/// and TPC-DS predicates used by the four queries never test for NULL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integers (all key and date columns).
+    I64(Vec<i64>),
+    /// 64-bit floats (measures: prices, profits, amounts).
+    F64(Vec<f64>),
+    /// UTF-8 strings (dimension attributes: states, county names).
+    Str(Vec<String>),
+}
+
+/// The type tag of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit integer.
+    I64,
+    /// 64-bit float.
+    F64,
+    /// UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DataType::I64 => "i64",
+            DataType::F64 => "f64",
+            DataType::Str => "str",
+        })
+    }
+}
+
+/// A single value (for predicates and scalar results).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer value.
+    I64(i64),
+    /// Float value.
+    F64(f64),
+    /// String value.
+    Str(String),
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::I64(v) => v.len(),
+            Column::F64(v) => v.len(),
+            Column::Str(v) => v.len(),
+        }
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's type tag.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Column::I64(_) => DataType::I64,
+            Column::F64(_) => DataType::F64,
+            Column::Str(_) => DataType::Str,
+        }
+    }
+
+    /// The value at `row`.
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::I64(v) => Value::I64(v[row]),
+            Column::F64(v) => Value::F64(v[row]),
+            Column::Str(v) => Value::Str(v[row].clone()),
+        }
+    }
+
+    /// An empty column of the same type.
+    pub fn empty_like(&self) -> Column {
+        match self {
+            Column::I64(_) => Column::I64(Vec::new()),
+            Column::F64(_) => Column::F64(Vec::new()),
+            Column::Str(_) => Column::Str(Vec::new()),
+        }
+    }
+
+    /// Gather the given row indices into a new column.
+    pub fn take(&self, idx: &[usize]) -> Column {
+        match self {
+            Column::I64(v) => Column::I64(idx.iter().map(|&i| v[i]).collect()),
+            Column::F64(v) => Column::F64(idx.iter().map(|&i| v[i]).collect()),
+            Column::Str(v) => Column::Str(idx.iter().map(|&i| v[i].clone()).collect()),
+        }
+    }
+
+    /// Keep rows where `mask` is `true` (lengths must match).
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        assert_eq!(mask.len(), self.len(), "mask length mismatch");
+        match self {
+            Column::I64(v) => Column::I64(
+                v.iter().zip(mask).filter(|&(_, &m)| m).map(|(x, _)| *x).collect(),
+            ),
+            Column::F64(v) => Column::F64(
+                v.iter().zip(mask).filter(|&(_, &m)| m).map(|(x, _)| *x).collect(),
+            ),
+            Column::Str(v) => Column::Str(
+                v.iter()
+                    .zip(mask)
+                    .filter(|&(_, &m)| m)
+                    .map(|(x, _)| x.clone())
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Append another column of the same type.
+    pub fn extend(&mut self, other: &Column) {
+        match (self, other) {
+            (Column::I64(a), Column::I64(b)) => a.extend_from_slice(b),
+            (Column::F64(a), Column::F64(b)) => a.extend_from_slice(b),
+            (Column::Str(a), Column::Str(b)) => a.extend_from_slice(b),
+            (a, b) => panic!("type mismatch in extend: {:?} vs {:?}", a.dtype(), b.dtype()),
+        }
+    }
+
+    /// The integer data, or panic with the column's real type.
+    pub fn as_i64(&self) -> &[i64] {
+        match self {
+            Column::I64(v) => v,
+            other => panic!("expected i64 column, got {}", other.dtype()),
+        }
+    }
+
+    /// The float data, or panic.
+    pub fn as_f64(&self) -> &[f64] {
+        match self {
+            Column::F64(v) => v,
+            other => panic!("expected f64 column, got {}", other.dtype()),
+        }
+    }
+
+    /// The string data, or panic.
+    pub fn as_str(&self) -> &[String] {
+        match self {
+            Column::Str(v) => v,
+            other => panic!("expected str column, got {}", other.dtype()),
+        }
+    }
+
+    /// A stable 64-bit hash of the value at `row` (for hash partitioning
+    /// and hash joins). FNV-1a over the canonical byte encoding —
+    /// deterministic across runs and platforms.
+    pub fn hash_row(&self, row: usize) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        match self {
+            Column::I64(v) => eat(&v[row].to_le_bytes()),
+            Column::F64(v) => eat(&v[row].to_bits().to_le_bytes()),
+            Column::Str(v) => eat(v[row].as_bytes()),
+        }
+        h
+    }
+
+    /// Approximate in-memory byte size.
+    pub fn byte_size(&self) -> u64 {
+        match self {
+            Column::I64(v) => (v.len() * 8) as u64,
+            Column::F64(v) => (v.len() * 8) as u64,
+            Column::Str(v) => v.iter().map(|s| s.len() as u64 + 8).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let c = Column::I64(vec![1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.dtype(), DataType::I64);
+        assert_eq!(c.value(1), Value::I64(2));
+        assert_eq!(c.as_i64(), &[1, 2, 3]);
+        assert_eq!(c.byte_size(), 24);
+    }
+
+    #[test]
+    fn take_and_filter() {
+        let c = Column::Str(vec!["a".into(), "b".into(), "c".into()]);
+        assert_eq!(c.take(&[2, 0]), Column::Str(vec!["c".into(), "a".into()]));
+        assert_eq!(
+            c.filter(&[true, false, true]),
+            Column::Str(vec!["a".into(), "c".into()])
+        );
+    }
+
+    #[test]
+    fn extend_same_type() {
+        let mut a = Column::F64(vec![1.0]);
+        a.extend(&Column::F64(vec![2.0, 3.0]));
+        assert_eq!(a.as_f64(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn extend_type_mismatch_panics() {
+        let mut a = Column::F64(vec![1.0]);
+        a.extend(&Column::I64(vec![2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected i64")]
+    fn wrong_accessor_panics() {
+        Column::F64(vec![1.0]).as_i64();
+    }
+
+    #[test]
+    fn hash_stable_and_discriminating() {
+        let c = Column::I64(vec![7, 7, 8]);
+        assert_eq!(c.hash_row(0), c.hash_row(1));
+        assert_ne!(c.hash_row(0), c.hash_row(2));
+        let s = Column::Str(vec!["x".into(), "y".into()]);
+        assert_ne!(s.hash_row(0), s.hash_row(1));
+    }
+
+    #[test]
+    fn empty_like_preserves_type() {
+        assert_eq!(Column::Str(vec!["a".into()]).empty_like().dtype(), DataType::Str);
+        assert!(Column::I64(vec![1]).empty_like().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length")]
+    fn filter_length_mismatch() {
+        Column::I64(vec![1, 2]).filter(&[true]);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # ditto-sql — a columnar mini analytics engine
+//!
+//! The paper evaluates Ditto on TPC-DS queries executed by "a data
+//! analytics execution engine atop SPRIGHT \[that\] integrates a set of SQL
+//! operators (e.g., join and groupby)" (§5). This crate is that substrate,
+//! built from scratch:
+//!
+//! * [`mod@column`] / [`table`] — typed columnar storage with zero-copy-ish
+//!   row selection, hash partitioning and a compact binary codec (so
+//!   intermediate tables can travel through the `ditto-storage` data
+//!   plane);
+//! * [`expr`] — predicates over columns;
+//! * [`ops`] — scan, filter/project, hash join (inner/semi/anti),
+//!   group-by aggregation (sum/count/count-distinct/avg/min/max, with
+//!   `HAVING`), distinct, sort-limit, union;
+//! * [`datagen`] — a synthetic TPC-DS-like database generator with a
+//!   configurable scale factor preserving the benchmark's relative table
+//!   sizes and key skew;
+//! * [`queries`] — Q1, Q16, Q94 and Q95 hand-lowered to stage DAGs
+//!   ([`plan::QueryPlan`]) with per-stage operators the execution engine
+//!   interprets, plus single-threaded reference implementations used to
+//!   verify distributed results. Q95's DAG reproduces Fig. 13 exactly
+//!   (9 stages, two broadcast joins).
+
+pub mod column;
+pub mod datagen;
+pub mod expr;
+pub mod ops;
+pub mod plan;
+pub mod queries;
+pub mod table;
+
+pub use column::Column;
+pub use datagen::{Database, ScaleConfig};
+pub use expr::{CmpOp, Pred};
+pub use plan::{AggFunc, JoinKind, QueryPlan, StageOp, StageSpec};
+pub use table::{Field, Schema, Table};

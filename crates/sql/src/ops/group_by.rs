@@ -1,0 +1,338 @@
+//! Group-by aggregation with HAVING support.
+
+use crate::column::{Column, DataType};
+use crate::expr::Pred;
+use crate::table::{Field, Schema, Table};
+use std::collections::{HashMap, HashSet};
+
+/// An aggregate over one input column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Input column (ignored for `Count`).
+    pub input: String,
+    /// Output column name.
+    pub output: String,
+}
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Row count (`COUNT(*)`), output i64.
+    Count,
+    /// Distinct values of the input column, output i64.
+    CountDistinct,
+    /// Sum of a numeric column, output f64.
+    Sum,
+    /// Mean of a numeric column, output f64.
+    Avg,
+    /// Minimum of a numeric column, output f64.
+    Min,
+    /// Maximum of a numeric column, output f64.
+    Max,
+}
+
+impl AggSpec {
+    /// `COUNT(*) AS output`.
+    pub fn count(output: &str) -> Self {
+        AggSpec {
+            func: AggFunc::Count,
+            input: String::new(),
+            output: output.into(),
+        }
+    }
+
+    /// `FUNC(input) AS output`.
+    pub fn new(func: AggFunc, input: &str, output: &str) -> Self {
+        AggSpec {
+            func,
+            input: input.into(),
+            output: output.into(),
+        }
+    }
+}
+
+/// Hashable composite group key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyPart {
+    I(i64),
+    S(String),
+}
+
+fn key_of(cols: &[&Column], row: usize) -> Vec<KeyPart> {
+    cols.iter()
+        .map(|c| match c {
+            Column::I64(v) => KeyPart::I(v[row]),
+            Column::Str(v) => KeyPart::S(v[row].clone()),
+            Column::F64(_) => panic!("cannot group by a float column"),
+        })
+        .collect()
+}
+
+fn numeric_at(col: &Column, row: usize) -> f64 {
+    match col {
+        Column::I64(v) => v[row] as f64,
+        Column::F64(v) => v[row],
+        Column::Str(_) => panic!("numeric aggregate over a string column"),
+    }
+}
+
+/// Distinct-tracking needs hashable values; floats are hashed by bits.
+fn distinct_key(col: &Column, row: usize) -> KeyPart {
+    match col {
+        Column::I64(v) => KeyPart::I(v[row]),
+        Column::F64(v) => KeyPart::I(v[row].to_bits() as i64),
+        Column::Str(v) => KeyPart::S(v[row].clone()),
+    }
+}
+
+/// `SELECT keys, aggs FROM t GROUP BY keys [HAVING having]`.
+///
+/// With empty `keys`, computes a single global aggregate row (0 rows when
+/// the input is empty, matching SQL's behaviour for grouped aggregates).
+/// Output rows are ordered by first appearance of the group in the input —
+/// deterministic for comparing distributed and reference runs.
+///
+/// ```
+/// use ditto_sql::column::{Column, DataType};
+/// use ditto_sql::ops::{group_by, AggSpec};
+/// use ditto_sql::ops::group_by::AggFunc;
+/// use ditto_sql::table::{Schema, Table};
+///
+/// let t = Table::new(
+///     Schema::new(&[("store", DataType::I64), ("amt", DataType::F64)]),
+///     vec![Column::I64(vec![1, 2, 1]), Column::F64(vec![10.0, 5.0, 30.0])],
+/// );
+/// let g = group_by(&t, &["store"], &[AggSpec::new(AggFunc::Sum, "amt", "total")], None);
+/// assert_eq!(g.column_req("store").as_i64(), &[1, 2]);
+/// assert_eq!(g.column_req("total").as_f64(), &[40.0, 5.0]);
+/// ```
+pub fn group_by(t: &Table, keys: &[&str], aggs: &[AggSpec], having: Option<&Pred>) -> Table {
+    let key_cols: Vec<&Column> = keys.iter().map(|k| t.column_req(k)).collect();
+    // group key → (first-appearance index, rows)
+    let mut groups: HashMap<Vec<KeyPart>, Vec<usize>> = HashMap::new();
+    let mut order: Vec<Vec<KeyPart>> = Vec::new();
+    for row in 0..t.num_rows() {
+        let k = key_of(&key_cols, row);
+        groups
+            .entry(k.clone())
+            .or_insert_with(|| {
+                order.push(k);
+                Vec::new()
+            })
+            .push(row);
+    }
+
+    // Assemble output columns: keys first, then aggregates.
+    let mut fields: Vec<Field> = Vec::new();
+    let mut out_cols: Vec<Column> = Vec::new();
+    for (i, &k) in keys.iter().enumerate() {
+        fields.push(Field {
+            name: k.to_string(),
+            dtype: key_cols[i].dtype(),
+        });
+        let col = match key_cols[i].dtype() {
+            DataType::I64 => Column::I64(
+                order
+                    .iter()
+                    .map(|key| match &key[i] {
+                        KeyPart::I(v) => *v,
+                        KeyPart::S(_) => unreachable!(),
+                    })
+                    .collect(),
+            ),
+            DataType::Str => Column::Str(
+                order
+                    .iter()
+                    .map(|key| match &key[i] {
+                        KeyPart::S(v) => v.clone(),
+                        KeyPart::I(_) => unreachable!(),
+                    })
+                    .collect(),
+            ),
+            DataType::F64 => unreachable!("rejected above"),
+        };
+        out_cols.push(col);
+    }
+
+    for spec in aggs {
+        let dtype = match spec.func {
+            AggFunc::Count | AggFunc::CountDistinct => DataType::I64,
+            _ => DataType::F64,
+        };
+        fields.push(Field {
+            name: spec.output.clone(),
+            dtype,
+        });
+        let col = match spec.func {
+            AggFunc::Count => Column::I64(
+                order.iter().map(|k| groups[k].len() as i64).collect(),
+            ),
+            AggFunc::CountDistinct => {
+                let input = t.column_req(&spec.input);
+                Column::I64(
+                    order
+                        .iter()
+                        .map(|k| {
+                            let set: HashSet<KeyPart> =
+                                groups[k].iter().map(|&r| distinct_key(input, r)).collect();
+                            set.len() as i64
+                        })
+                        .collect(),
+                )
+            }
+            AggFunc::Sum | AggFunc::Avg | AggFunc::Min | AggFunc::Max => {
+                let input = t.column_req(&spec.input);
+                Column::F64(
+                    order
+                        .iter()
+                        .map(|k| {
+                            let rows = &groups[k];
+                            let vals = rows.iter().map(|&r| numeric_at(input, r));
+                            match spec.func {
+                                AggFunc::Sum => vals.sum(),
+                                AggFunc::Avg => {
+                                    vals.sum::<f64>() / rows.len() as f64
+                                }
+                                AggFunc::Min => vals.fold(f64::INFINITY, f64::min),
+                                AggFunc::Max => vals.fold(f64::NEG_INFINITY, f64::max),
+                                _ => unreachable!(),
+                            }
+                        })
+                        .collect(),
+                )
+            }
+        };
+        out_cols.push(col);
+    }
+
+    let out = Table::new(Schema { fields }, out_cols);
+    match having {
+        Some(p) => {
+            let mask = p.eval(&out);
+            out.filter(&mask)
+        }
+        None => out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Pred};
+
+    fn t() -> Table {
+        Table::new(
+            Schema::new(&[
+                ("store", DataType::I64),
+                ("cust", DataType::Str),
+                ("amt", DataType::F64),
+            ]),
+            vec![
+                Column::I64(vec![1, 1, 2, 2, 2, 1]),
+                Column::Str(vec![
+                    "a".into(),
+                    "b".into(),
+                    "a".into(),
+                    "a".into(),
+                    "c".into(),
+                    "a".into(),
+                ]),
+                Column::F64(vec![10.0, 20.0, 5.0, 15.0, 30.0, 40.0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn sum_count_by_key() {
+        let g = group_by(
+            &t(),
+            &["store"],
+            &[
+                AggSpec::new(AggFunc::Sum, "amt", "total"),
+                AggSpec::count("n"),
+            ],
+            None,
+        );
+        assert_eq!(g.num_rows(), 2);
+        assert_eq!(g.column_req("store").as_i64(), &[1, 2]); // appearance order
+        assert_eq!(g.column_req("total").as_f64(), &[70.0, 50.0]);
+        assert_eq!(g.column_req("n").as_i64(), &[3, 3]);
+    }
+
+    #[test]
+    fn multi_key_groups() {
+        let g = group_by(&t(), &["store", "cust"], &[AggSpec::count("n")], None);
+        assert_eq!(g.num_rows(), 4); // (1,a)(1,b)(2,a)(2,c)
+        assert_eq!(g.column_req("n").as_i64(), &[2, 1, 2, 1]);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let g = group_by(
+            &t(),
+            &["store"],
+            &[AggSpec::new(AggFunc::CountDistinct, "cust", "dc")],
+            None,
+        );
+        assert_eq!(g.column_req("dc").as_i64(), &[2, 2]);
+    }
+
+    #[test]
+    fn avg_min_max() {
+        let g = group_by(
+            &t(),
+            &["store"],
+            &[
+                AggSpec::new(AggFunc::Avg, "amt", "avg"),
+                AggSpec::new(AggFunc::Min, "amt", "min"),
+                AggSpec::new(AggFunc::Max, "amt", "max"),
+            ],
+            None,
+        );
+        let avg = g.column_req("avg").as_f64();
+        assert!((avg[0] - 70.0 / 3.0).abs() < 1e-9);
+        assert_eq!(g.column_req("min").as_f64(), &[10.0, 5.0]);
+        assert_eq!(g.column_req("max").as_f64(), &[40.0, 30.0]);
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let having = Pred::Cmp {
+            col: "dc".into(),
+            op: CmpOp::Gt,
+            value: crate::column::Value::I64(1),
+        };
+        let g = group_by(
+            &t(),
+            &["store", "cust"],
+            &[AggSpec::new(AggFunc::CountDistinct, "amt", "dc")],
+            Some(&having),
+        );
+        // Only groups with >1 distinct amt: (1,a) has 10,40.
+        assert_eq!(g.num_rows(), 2);
+    }
+
+    #[test]
+    fn global_aggregate_empty_keys() {
+        let g = group_by(&t(), &[], &[AggSpec::new(AggFunc::Sum, "amt", "s")], None);
+        assert_eq!(g.num_rows(), 1);
+        assert_eq!(g.column_req("s").as_f64(), &[120.0]);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let e = Table::empty(Schema::new(&[("store", DataType::I64), ("amt", DataType::F64)]));
+        let g = group_by(&e, &["store"], &[AggSpec::count("n")], None);
+        assert_eq!(g.num_rows(), 0);
+        let g2 = group_by(&e, &[], &[AggSpec::count("n")], None);
+        assert_eq!(g2.num_rows(), 0, "grouped aggregate over empty input");
+    }
+
+    #[test]
+    #[should_panic(expected = "float column")]
+    fn float_group_key_rejected() {
+        group_by(&t(), &["amt"], &[AggSpec::count("n")], None);
+    }
+}

@@ -1,0 +1,198 @@
+//! Hash join: inner, left-semi and left-anti over single-column keys.
+
+use crate::column::Column;
+#[cfg(test)]
+use crate::column::DataType;
+use crate::table::{Field, Schema, Table};
+use std::collections::HashMap;
+
+/// Join flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    /// All matching (left, right) row pairs; output carries both sides'
+    /// columns (right-side name collisions get an `_r` suffix).
+    Inner,
+    /// Left rows with at least one match; left columns only (`EXISTS`).
+    LeftSemi,
+    /// Left rows with no match; left columns only (`NOT EXISTS`).
+    LeftAnti,
+}
+
+/// A join key usable as a hash-map key (i64 or string columns).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    I(i64),
+    S(String),
+}
+
+fn key_at(col: &Column, row: usize) -> Key {
+    match col {
+        Column::I64(v) => Key::I(v[row]),
+        Column::Str(v) => Key::S(v[row].clone()),
+        Column::F64(_) => panic!("cannot join on a float column"),
+    }
+}
+
+/// Hash join `left ⋈ right` on `left_key = right_key`.
+///
+/// Builds the hash table on the right side, probes with the left, so row
+/// order follows the left input (deterministic).
+pub fn hash_join(
+    left: &Table,
+    right: &Table,
+    left_key: &str,
+    right_key: &str,
+    kind: JoinKind,
+) -> Table {
+    let lcol = left.column_req(left_key);
+    let rcol = right.column_req(right_key);
+    assert_eq!(
+        lcol.dtype(),
+        rcol.dtype(),
+        "join key types differ: {left_key} vs {right_key}"
+    );
+
+    // Build: right key → row indices.
+    let mut build: HashMap<Key, Vec<usize>> = HashMap::new();
+    for r in 0..right.num_rows() {
+        build.entry(key_at(rcol, r)).or_default().push(r);
+    }
+
+    match kind {
+        JoinKind::Inner => {
+            let mut lidx = Vec::new();
+            let mut ridx = Vec::new();
+            for l in 0..left.num_rows() {
+                if let Some(rs) = build.get(&key_at(lcol, l)) {
+                    for &r in rs {
+                        lidx.push(l);
+                        ridx.push(r);
+                    }
+                }
+            }
+            let lpart = left.take(&lidx);
+            let rpart = right.take(&ridx);
+            // Merge schemas; suffix right-side collisions.
+            let mut fields = lpart.schema.fields.clone();
+            let mut cols = lpart.columns.clone();
+            for (f, c) in rpart.schema.fields.iter().zip(&rpart.columns) {
+                let name = if lpart.schema.index_of(&f.name).is_some() {
+                    format!("{}_r", f.name)
+                } else {
+                    f.name.clone()
+                };
+                fields.push(Field {
+                    name,
+                    dtype: f.dtype,
+                });
+                cols.push(c.clone());
+            }
+            Table::new(Schema { fields }, cols)
+        }
+        JoinKind::LeftSemi | JoinKind::LeftAnti => {
+            let want_match = kind == JoinKind::LeftSemi;
+            let mask: Vec<bool> = (0..left.num_rows())
+                .map(|l| build.contains_key(&key_at(lcol, l)) == want_match)
+                .collect();
+            left.filter(&mask)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn left() -> Table {
+        Table::new(
+            Schema::new(&[("k", DataType::I64), ("lx", DataType::F64)]),
+            vec![
+                Column::I64(vec![1, 2, 2, 3]),
+                Column::F64(vec![10.0, 20.0, 21.0, 30.0]),
+            ],
+        )
+    }
+
+    fn right() -> Table {
+        Table::new(
+            Schema::new(&[("k", DataType::I64), ("ry", DataType::Str)]),
+            vec![
+                Column::I64(vec![2, 3, 3, 5]),
+                Column::Str(vec!["b".into(), "c1".into(), "c2".into(), "e".into()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn inner_join_pairs() {
+        let j = hash_join(&left(), &right(), "k", "k", JoinKind::Inner);
+        // k=2 matches 1 right row ×2 left rows; k=3 matches 2 right rows.
+        assert_eq!(j.num_rows(), 4);
+        // Right key column collided → suffixed.
+        assert!(j.column("k_r").is_some());
+        assert_eq!(j.column_req("k").as_i64(), &[2, 2, 3, 3]);
+        assert_eq!(
+            j.column_req("ry").as_str(),
+            &["b".to_string(), "b".into(), "c1".into(), "c2".into()]
+        );
+    }
+
+    #[test]
+    fn semi_join_keeps_matching_left_rows_once() {
+        let j = hash_join(&left(), &right(), "k", "k", JoinKind::LeftSemi);
+        assert_eq!(j.column_req("k").as_i64(), &[2, 2, 3]);
+        assert_eq!(j.num_columns(), 2, "left columns only");
+    }
+
+    #[test]
+    fn anti_join_keeps_unmatched() {
+        let j = hash_join(&left(), &right(), "k", "k", JoinKind::LeftAnti);
+        assert_eq!(j.column_req("k").as_i64(), &[1]);
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let l = Table::new(
+            Schema::new(&[("s", DataType::Str)]),
+            vec![Column::Str(vec!["x".into(), "y".into()])],
+        );
+        let r = Table::new(
+            Schema::new(&[("s2", DataType::Str)]),
+            vec![Column::Str(vec!["y".into()])],
+        );
+        let j = hash_join(&l, &r, "s", "s2", JoinKind::Inner);
+        assert_eq!(j.num_rows(), 1);
+        // No collision: right column keeps its name.
+        assert!(j.column("s2").is_some());
+    }
+
+    #[test]
+    fn empty_sides() {
+        let e = Table::empty(Schema::new(&[("k", DataType::I64)]));
+        assert_eq!(hash_join(&e, &right(), "k", "k", JoinKind::Inner).num_rows(), 0);
+        assert_eq!(hash_join(&left(), &e, "k", "k", JoinKind::Inner).num_rows(), 0);
+        assert_eq!(
+            hash_join(&left(), &e, "k", "k", JoinKind::LeftAnti).num_rows(),
+            4,
+            "anti join against empty right keeps everything"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "key types differ")]
+    fn mismatched_key_types() {
+        let r = Table::new(
+            Schema::new(&[("k", DataType::Str)]),
+            vec![Column::Str(vec!["1".into()])],
+        );
+        hash_join(&left(), &r, "k", "k", JoinKind::Inner);
+    }
+
+    #[test]
+    #[should_panic(expected = "float column")]
+    fn float_key_rejected() {
+        // Both key columns are f64 so the type-equality check passes and
+        // the float-key rejection fires.
+        hash_join(&left(), &left(), "lx", "lx", JoinKind::Inner);
+    }
+}

@@ -1,0 +1,101 @@
+//! Sort-limit (top-N) and distinct.
+
+use crate::column::Column;
+use crate::table::Table;
+use std::collections::HashSet;
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Smallest first.
+    Asc,
+    /// Largest first.
+    Desc,
+}
+
+/// `ORDER BY col <order> LIMIT limit`. Stable: ties keep input order.
+pub fn sort_limit(t: &Table, col: &str, order: SortOrder, limit: usize) -> Table {
+    let c = t.column_req(col);
+    let mut idx: Vec<usize> = (0..t.num_rows()).collect();
+    match c {
+        Column::I64(v) => idx.sort_by(|&a, &b| v[a].cmp(&v[b])),
+        Column::F64(v) => idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap()),
+        Column::Str(v) => idx.sort_by(|&a, &b| v[a].cmp(&v[b])),
+    }
+    if order == SortOrder::Desc {
+        idx.reverse();
+    }
+    idx.truncate(limit);
+    t.take(&idx)
+}
+
+/// `SELECT DISTINCT cols FROM t` — unique rows of the named columns, in
+/// first-appearance order.
+pub fn distinct(t: &Table, cols: &[&str]) -> Table {
+    let projected = t.project(cols);
+    let key_cols: Vec<&Column> = cols.iter().map(|c| projected.column_req(c)).collect();
+    let mut seen: HashSet<Vec<u64>> = HashSet::new();
+    let mut keep = Vec::new();
+    for row in 0..projected.num_rows() {
+        let key: Vec<u64> = key_cols.iter().map(|c| c.hash_row(row)).collect();
+        if seen.insert(key) {
+            keep.push(row);
+        }
+    }
+    projected.take(&keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::DataType;
+    use crate::table::Schema;
+
+    fn t() -> Table {
+        Table::new(
+            Schema::new(&[("k", DataType::I64), ("x", DataType::F64)]),
+            vec![
+                Column::I64(vec![3, 1, 2, 1]),
+                Column::F64(vec![30.0, 10.0, 20.0, 11.0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn sort_asc_desc() {
+        let a = sort_limit(&t(), "k", SortOrder::Asc, 10);
+        assert_eq!(a.column_req("k").as_i64(), &[1, 1, 2, 3]);
+        // Stable: first 1 is x=10, second x=11.
+        assert_eq!(a.column_req("x").as_f64()[0], 10.0);
+        let d = sort_limit(&t(), "x", SortOrder::Desc, 2);
+        assert_eq!(d.column_req("x").as_f64(), &[30.0, 20.0]);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let a = sort_limit(&t(), "k", SortOrder::Asc, 1);
+        assert_eq!(a.num_rows(), 1);
+        let all = sort_limit(&t(), "k", SortOrder::Asc, 100);
+        assert_eq!(all.num_rows(), 4);
+    }
+
+    #[test]
+    fn distinct_unique_rows() {
+        let d = distinct(&t(), &["k"]);
+        assert_eq!(d.column_req("k").as_i64(), &[3, 1, 2]);
+        assert_eq!(d.num_columns(), 1);
+    }
+
+    #[test]
+    fn distinct_multi_column() {
+        let tab = Table::new(
+            Schema::new(&[("a", DataType::I64), ("b", DataType::I64)]),
+            vec![
+                Column::I64(vec![1, 1, 2, 1]),
+                Column::I64(vec![1, 2, 1, 1]),
+            ],
+        );
+        let d = distinct(&tab, &["a", "b"]);
+        assert_eq!(d.num_rows(), 3);
+    }
+}

@@ -1,0 +1,509 @@
+//! Tables: named, typed column collections with partitioning and a codec.
+
+use crate::column::{Column, DataType};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// A named, typed column slot in a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    /// The fields, in column order.
+    pub fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build from `(name, dtype)` pairs.
+    pub fn new(fields: &[(&str, DataType)]) -> Self {
+        Schema {
+            fields: fields
+                .iter()
+                .map(|&(n, t)| Field {
+                    name: n.to_string(),
+                    dtype: t,
+                })
+                .collect(),
+        }
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// `true` when there are no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+/// A columnar table. All columns have identical length.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    /// Column names and types.
+    pub schema: Schema,
+    /// The column data, aligned with `schema.fields`.
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Build a table; validates column count and lengths.
+    pub fn new(schema: Schema, columns: Vec<Column>) -> Self {
+        assert_eq!(schema.len(), columns.len(), "schema/column count mismatch");
+        if let Some(first) = columns.first() {
+            for (f, c) in schema.fields.iter().zip(&columns) {
+                assert_eq!(
+                    c.len(),
+                    first.len(),
+                    "column {} length differs",
+                    f.name
+                );
+                assert_eq!(c.dtype(), f.dtype, "column {} type differs", f.name);
+            }
+        }
+        Table { schema, columns }
+    }
+
+    /// An empty table with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        let columns = schema
+            .fields
+            .iter()
+            .map(|f| match f.dtype {
+                DataType::I64 => Column::I64(Vec::new()),
+                DataType::F64 => Column::F64(Vec::new()),
+                DataType::Str => Column::Str(Vec::new()),
+            })
+            .collect();
+        Table { schema, columns }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// A column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// A column by name, panicking with a useful message when missing.
+    pub fn column_req(&self, name: &str) -> &Column {
+        self.column(name)
+            .unwrap_or_else(|| panic!("no column {name:?} in schema {:?}", self.schema))
+    }
+
+    /// Keep only the named columns, in the given order.
+    pub fn project(&self, names: &[&str]) -> Table {
+        let mut fields = Vec::with_capacity(names.len());
+        let mut cols = Vec::with_capacity(names.len());
+        for &n in names {
+            let i = self
+                .schema
+                .index_of(n)
+                .unwrap_or_else(|| panic!("no column {n:?} to project"));
+            fields.push(self.schema.fields[i].clone());
+            cols.push(self.columns[i].clone());
+        }
+        Table::new(Schema { fields }, cols)
+    }
+
+    /// Keep rows where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.filter(mask)).collect(),
+        }
+    }
+
+    /// Gather the given rows.
+    pub fn take(&self, idx: &[usize]) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.take(idx)).collect(),
+        }
+    }
+
+    /// Append another table with an identical schema.
+    pub fn extend(&mut self, other: &Table) {
+        assert_eq!(self.schema, other.schema, "schema mismatch in extend");
+        for (a, b) in self.columns.iter_mut().zip(&other.columns) {
+            a.extend(b);
+        }
+    }
+
+    /// Concatenate tables with identical schemas (empty input → `None`).
+    pub fn concat(tables: &[Table]) -> Option<Table> {
+        let mut iter = tables.iter();
+        let mut out = iter.next()?.clone();
+        for t in iter {
+            out.extend(t);
+        }
+        Some(out)
+    }
+
+    /// Split into `n` contiguous row chunks of near-equal size (for scan
+    /// parallelism). Later chunks may be one row smaller.
+    pub fn split(&self, n: usize) -> Vec<Table> {
+        assert!(n > 0);
+        let rows = self.num_rows();
+        let base = rows / n;
+        let rem = rows % n;
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0usize;
+        for i in 0..n {
+            let len = base + usize::from(i < rem);
+            let idx: Vec<usize> = (start..start + len).collect();
+            out.push(self.take(&idx));
+            start += len;
+        }
+        out
+    }
+
+    /// Hash-partition rows into `n` buckets by the named key column —
+    /// the shuffle partitioner: rows with equal keys land in the same
+    /// bucket regardless of which task partitioned them.
+    pub fn hash_partition(&self, key: &str, n: usize) -> Vec<Table> {
+        assert!(n > 0);
+        let col = self.column_req(key);
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for row in 0..self.num_rows() {
+            let b = (col.hash_row(row) % n as u64) as usize;
+            buckets[b].push(row);
+        }
+        buckets.into_iter().map(|idx| self.take(&idx)).collect()
+    }
+
+    /// Approximate in-memory size in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.columns.iter().map(|c| c.byte_size()).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Binary codec: how intermediate tables travel through the data plane.
+    // Format: [ncols:u32] then per column: [name_len:u32][name][tag:u8]
+    // [nrows:u64][data...]; i64/f64 as LE words, strings length-prefixed.
+    // ------------------------------------------------------------------
+
+    /// Serialize to the compact binary wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.byte_size() as usize + 64);
+        buf.put_u32_le(self.num_columns() as u32);
+        for (f, c) in self.schema.fields.iter().zip(&self.columns) {
+            buf.put_u32_le(f.name.len() as u32);
+            buf.put_slice(f.name.as_bytes());
+            match c {
+                Column::I64(v) => {
+                    buf.put_u8(0);
+                    buf.put_u64_le(v.len() as u64);
+                    for x in v {
+                        buf.put_i64_le(*x);
+                    }
+                }
+                Column::F64(v) => {
+                    buf.put_u8(1);
+                    buf.put_u64_le(v.len() as u64);
+                    for x in v {
+                        buf.put_f64_le(*x);
+                    }
+                }
+                Column::Str(v) => {
+                    buf.put_u8(2);
+                    buf.put_u64_le(v.len() as u64);
+                    for s in v {
+                        buf.put_u32_le(s.len() as u32);
+                        buf.put_slice(s.as_bytes());
+                    }
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize from the wire format, validating framing first.
+    /// Returns a descriptive error for truncated or corrupt buffers.
+    pub fn try_decode(data: Bytes) -> Result<Table, String> {
+        // Pre-validate the framing with a non-consuming cursor walk so the
+        // panicking fast path below can never be reached on bad input.
+        let buf = &data[..];
+        let mut pos = 0usize;
+        let need = |pos: usize, n: usize, what: &str| -> Result<(), String> {
+            if pos + n > buf.len() {
+                Err(format!("truncated table buffer while reading {what}"))
+            } else {
+                Ok(())
+            }
+        };
+        need(pos, 4, "column count")?;
+        let ncols = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        if ncols > 4096 {
+            return Err(format!("implausible column count {ncols}"));
+        }
+        for _ in 0..ncols {
+            need(pos, 4, "name length")?;
+            let name_len =
+                u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            need(pos, name_len, "column name")?;
+            std::str::from_utf8(&buf[pos..pos + name_len])
+                .map_err(|_| "column name is not UTF-8".to_string())?;
+            pos += name_len;
+            need(pos, 9, "column header")?;
+            let tag = buf[pos];
+            pos += 1;
+            let nrows =
+                u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap()) as usize;
+            pos += 8;
+            match tag {
+                0 | 1 => {
+                    need(pos, nrows.checked_mul(8).ok_or("row count overflow")?, "numeric data")?;
+                    pos += nrows * 8;
+                }
+                2 => {
+                    for _ in 0..nrows {
+                        need(pos, 4, "string length")?;
+                        let len =
+                            u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+                        pos += 4;
+                        need(pos, len, "string data")?;
+                        std::str::from_utf8(&buf[pos..pos + len])
+                            .map_err(|_| "string cell is not UTF-8".to_string())?;
+                        pos += len;
+                    }
+                }
+                t => return Err(format!("unknown column tag {t}")),
+            }
+        }
+        if pos != buf.len() {
+            return Err(format!("{} trailing bytes after table", buf.len() - pos));
+        }
+        Ok(Self::decode(data))
+    }
+
+    /// Deserialize from the wire format.
+    ///
+    /// # Panics
+    /// Panics on malformed input; the runtime only decodes its own encoded
+    /// buffers. Use [`Table::try_decode`] for untrusted data.
+    pub fn decode(mut data: Bytes) -> Table {
+        let ncols = data.get_u32_le() as usize;
+        let mut fields = Vec::with_capacity(ncols);
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let name_len = data.get_u32_le() as usize;
+            let name = String::from_utf8(data.split_to(name_len).to_vec()).expect("utf8 name");
+            let tag = data.get_u8();
+            let nrows = data.get_u64_le() as usize;
+            let (dtype, col) = match tag {
+                0 => {
+                    let mut v = Vec::with_capacity(nrows);
+                    for _ in 0..nrows {
+                        v.push(data.get_i64_le());
+                    }
+                    (DataType::I64, Column::I64(v))
+                }
+                1 => {
+                    let mut v = Vec::with_capacity(nrows);
+                    for _ in 0..nrows {
+                        v.push(data.get_f64_le());
+                    }
+                    (DataType::F64, Column::F64(v))
+                }
+                2 => {
+                    let mut v = Vec::with_capacity(nrows);
+                    for _ in 0..nrows {
+                        let len = data.get_u32_le() as usize;
+                        v.push(String::from_utf8(data.split_to(len).to_vec()).expect("utf8"));
+                    }
+                    (DataType::Str, Column::Str(v))
+                }
+                t => panic!("unknown column tag {t}"),
+            };
+            fields.push(Field { name, dtype });
+            columns.push(col);
+        }
+        Table::new(Schema { fields }, columns)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.schema.fields.iter().map(|x| x.name.as_str()).collect();
+        writeln!(f, "{}", names.join(" | "))?;
+        for row in 0..self.num_rows().min(20) {
+            let vals: Vec<String> = self
+                .columns
+                .iter()
+                .map(|c| match c.value(row) {
+                    crate::column::Value::I64(x) => x.to_string(),
+                    crate::column::Value::F64(x) => format!("{x:.2}"),
+                    crate::column::Value::Str(x) => x,
+                })
+                .collect();
+            writeln!(f, "{}", vals.join(" | "))?;
+        }
+        if self.num_rows() > 20 {
+            writeln!(f, "... ({} rows total)", self.num_rows())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::new(
+            Schema::new(&[("id", DataType::I64), ("amt", DataType::F64), ("st", DataType::Str)]),
+            vec![
+                Column::I64(vec![1, 2, 3, 4]),
+                Column::F64(vec![10.0, 20.0, 30.0, 40.0]),
+                Column::Str(vec!["a".into(), "b".into(), "a".into(), "c".into()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = sample();
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.column("amt").unwrap().as_f64()[1], 20.0);
+        assert!(t.column("zzz").is_none());
+        assert!(t.byte_size() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length differs")]
+    fn ragged_columns_rejected() {
+        Table::new(
+            Schema::new(&[("a", DataType::I64), ("b", DataType::I64)]),
+            vec![Column::I64(vec![1]), Column::I64(vec![1, 2])],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "type differs")]
+    fn wrong_type_rejected() {
+        Table::new(
+            Schema::new(&[("a", DataType::I64)]),
+            vec![Column::F64(vec![1.0])],
+        );
+    }
+
+    #[test]
+    fn project_and_filter() {
+        let t = sample();
+        let p = t.project(&["st", "id"]);
+        assert_eq!(p.schema.fields[0].name, "st");
+        assert_eq!(p.schema.fields[1].name, "id");
+        let f = t.filter(&[true, false, true, false]);
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.column_req("id").as_i64(), &[1, 3]);
+    }
+
+    #[test]
+    fn split_even() {
+        let t = sample();
+        let parts = t.split(3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(
+            parts.iter().map(|p| p.num_rows()).collect::<Vec<_>>(),
+            vec![2, 1, 1]
+        );
+        let back = Table::concat(&parts).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn hash_partition_consistent() {
+        let t = sample();
+        let parts = t.hash_partition("st", 3);
+        assert_eq!(parts.iter().map(|p| p.num_rows()).sum::<usize>(), 4);
+        // Rows with st="a" (ids 1 and 3) land in the same bucket.
+        let bucket_of = |id: i64| {
+            parts
+                .iter()
+                .position(|p| p.column_req("id").as_i64().contains(&id))
+                .unwrap()
+        };
+        assert_eq!(bucket_of(1), bucket_of(3));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let t = sample();
+        let bytes = t.encode();
+        let back = Table::decode(bytes);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn try_decode_accepts_valid_rejects_malformed() {
+        let t = sample();
+        let good = t.encode();
+        assert_eq!(Table::try_decode(good.clone()).unwrap(), t);
+        // Truncation at every prefix length must error, never panic.
+        for cut in 0..good.len().min(64) {
+            let sliced = good.slice(0..cut);
+            if cut == good.len() {
+                continue;
+            }
+            assert!(Table::try_decode(sliced).is_err(), "cut={cut}");
+        }
+        // Trailing garbage is rejected.
+        let mut extended = good.to_vec();
+        extended.push(0xFF);
+        assert!(Table::try_decode(Bytes::from(extended)).is_err());
+        // Corrupt tag is rejected.
+        let mut corrupt = good.to_vec();
+        // first column: 4 (ncols) + 4 (len) + 2 ("id") = offset 10 is tag
+        corrupt[10] = 9;
+        assert!(Table::try_decode(Bytes::from(corrupt)).is_err());
+    }
+
+    #[test]
+    fn codec_empty_table() {
+        let t = Table::empty(Schema::new(&[("x", DataType::Str)]));
+        let back = Table::decode(t.encode());
+        assert_eq!(back.num_rows(), 0);
+        assert_eq!(back.schema, t.schema);
+    }
+
+    #[test]
+    fn extend_and_concat() {
+        let t = sample();
+        let mut a = t.clone();
+        a.extend(&t);
+        assert_eq!(a.num_rows(), 8);
+        assert!(Table::concat(&[]).is_none());
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = sample().to_string();
+        assert!(s.contains("id | amt | st"));
+        assert!(s.contains("30.00"));
+    }
+}

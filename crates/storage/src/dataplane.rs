@@ -1,0 +1,300 @@
+//! The data plane: placement-aware routing of intermediate data.
+//!
+//! The paper's execution engine "provides data communication APIs (e.g.,
+//! shuffle and broadcast) that transparently dispatch I/O requests to shared
+//! memory or external storage, according to the co-location of the upstream
+//! and downstream tasks" (§5). [`DataPlane`] is that dispatch layer: it
+//! owns one external [`ObjectStore`] (S3- or Redis-like) and one
+//! [`SharedMemoryBus`] per server, and routes each transfer by whether the
+//! producing and consuming tasks share a server.
+//!
+//! It also keeps a [`TransferLedger`] of bytes moved and persistence cost
+//! accrued per medium — the source of the shared-memory/Redis cost terms in
+//! the paper's cost metric (§6.2).
+
+use crate::medium::{CostModel, Medium, TransferModel};
+use crate::object_store::{ObjectStore, StoreError};
+use crate::sharedmem::SharedMemoryBus;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Accumulated transfer and persistence accounting, per medium.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MediumLedger {
+    /// Bytes written into the medium.
+    pub bytes_in: u64,
+    /// Bytes read out of the medium.
+    pub bytes_out: u64,
+    /// Number of transfers.
+    pub transfers: u64,
+    /// Accrued persistence cost (price · GB · s).
+    pub persistence_cost: f64,
+}
+
+/// Ledger over all three media.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TransferLedger {
+    /// Shared-memory accounting.
+    pub shared_memory: MediumLedger,
+    /// Redis accounting.
+    pub redis: MediumLedger,
+    /// S3 accounting.
+    pub s3: MediumLedger,
+}
+
+impl TransferLedger {
+    /// The ledger for one medium.
+    pub fn for_medium(&self, m: Medium) -> &MediumLedger {
+        match m {
+            Medium::SharedMemory => &self.shared_memory,
+            Medium::Redis => &self.redis,
+            Medium::S3 => &self.s3,
+        }
+    }
+
+    fn for_medium_mut(&mut self, m: Medium) -> &mut MediumLedger {
+        match m {
+            Medium::SharedMemory => &mut self.shared_memory,
+            Medium::Redis => &mut self.redis,
+            Medium::S3 => &mut self.s3,
+        }
+    }
+
+    /// Total persistence cost across media — the storage component of the
+    /// paper's job cost.
+    pub fn total_persistence_cost(&self) -> f64 {
+        self.shared_memory.persistence_cost + self.redis.persistence_cost + self.s3.persistence_cost
+    }
+}
+
+/// Placement-aware data exchange for one job execution.
+pub struct DataPlane {
+    external_medium: Medium,
+    external: Arc<ObjectStore>,
+    buses: Vec<Arc<SharedMemoryBus>>,
+    ledger: Mutex<TransferLedger>,
+}
+
+impl DataPlane {
+    /// Build a data plane with the given external medium backing shuffles
+    /// between non-co-located tasks, for a cluster of `n_servers` servers.
+    ///
+    /// # Panics
+    /// Panics if `external_medium` is [`Medium::SharedMemory`]: shared
+    /// memory is intra-server only and cannot back remote exchange.
+    pub fn new(external_medium: Medium, n_servers: usize) -> Self {
+        assert!(
+            external_medium != Medium::SharedMemory,
+            "external medium must be Redis or S3"
+        );
+        let external = match external_medium {
+            // Two cache.r5.4xlarge Redis nodes ≈ 228 GB usable in the paper.
+            Medium::Redis => Arc::new(ObjectStore::bounded("redis", 228 << 30)),
+            Medium::S3 => Arc::new(ObjectStore::unbounded("s3")),
+            Medium::SharedMemory => unreachable!(),
+        };
+        DataPlane {
+            external_medium,
+            external,
+            buses: (0..n_servers).map(|_| Arc::new(SharedMemoryBus::new())).collect(),
+            ledger: Mutex::new(TransferLedger::default()),
+        }
+    }
+
+    /// The configured external medium.
+    pub fn external_medium(&self) -> Medium {
+        self.external_medium
+    }
+
+    /// The external object store (for job input/output and inspection).
+    pub fn external_store(&self) -> &Arc<ObjectStore> {
+        &self.external
+    }
+
+    /// The shared-memory bus of one server.
+    pub fn bus(&self, server: usize) -> &Arc<SharedMemoryBus> {
+        &self.buses[server]
+    }
+
+    /// Which medium a transfer between the two servers uses.
+    pub fn medium_between(&self, src_server: usize, dst_server: usize) -> Medium {
+        if src_server == dst_server {
+            Medium::SharedMemory
+        } else {
+            self.external_medium
+        }
+    }
+
+    /// Simulated per-task transfer time for `bytes` between the servers.
+    pub fn transfer_time(&self, src_server: usize, dst_server: usize, bytes: u64) -> f64 {
+        TransferModel::for_medium(self.medium_between(src_server, dst_server)).transfer_time(bytes)
+    }
+
+    /// Record a (simulated or physical) transfer in the ledger.
+    pub fn record_transfer(&self, medium: Medium, bytes: u64) {
+        let mut l = self.ledger.lock();
+        let m = l.for_medium_mut(medium);
+        m.bytes_in += bytes;
+        m.bytes_out += bytes;
+        m.transfers += 1;
+    }
+
+    /// Accrue persistence cost: `bytes` resident in `medium` for `seconds`.
+    pub fn record_persistence(&self, medium: Medium, bytes: u64, seconds: f64) {
+        let cost = CostModel::for_medium(medium).persistence_cost(bytes, seconds);
+        self.ledger.lock().for_medium_mut(medium).persistence_cost += cost;
+    }
+
+    /// Ledger snapshot.
+    pub fn ledger(&self) -> TransferLedger {
+        *self.ledger.lock()
+    }
+
+    // ------------------------------------------------------------------
+    // Physical path (used by the local runtime in ditto-exec)
+    // ------------------------------------------------------------------
+
+    /// Publish one intermediate partition from `(edge, from_task)` to
+    /// `to_task`, where producer and consumer run on the given servers.
+    pub fn send_partition(
+        &self,
+        edge: u32,
+        from_task: u32,
+        to_task: u32,
+        src_server: usize,
+        dst_server: usize,
+        data: Bytes,
+    ) -> Result<(), StoreError> {
+        let bytes = data.len() as u64;
+        let medium = self.medium_between(src_server, dst_server);
+        match medium {
+            Medium::SharedMemory => {
+                self.buses[src_server].send((edge, from_task, to_task), data);
+            }
+            _ => {
+                self.external.put(partition_key(edge, from_task, to_task), data)?;
+            }
+        }
+        self.record_transfer(medium, bytes);
+        Ok(())
+    }
+
+    /// Receive one intermediate partition, blocking up to `timeout` when it
+    /// travels via shared memory (producer may still be running).
+    pub fn recv_partition(
+        &self,
+        edge: u32,
+        from_task: u32,
+        to_task: u32,
+        src_server: usize,
+        dst_server: usize,
+        timeout: Duration,
+    ) -> Result<Bytes, StoreError> {
+        match self.medium_between(src_server, dst_server) {
+            Medium::SharedMemory => self.buses[src_server]
+                .recv((edge, from_task, to_task), timeout)
+                .ok_or_else(|| {
+                    StoreError::NotFound(partition_key(edge, from_task, to_task))
+                }),
+            _ => {
+                let key = partition_key(edge, from_task, to_task);
+                // External stores have no blocking read; poll with backoff
+                // (the local runtime launches consumers after producers, so
+                // this loop rarely spins more than once).
+                let deadline = std::time::Instant::now() + timeout;
+                loop {
+                    match self.external.get(&key) {
+                        Ok(b) => return Ok(b),
+                        Err(StoreError::NotFound(_)) if std::time::Instant::now() < deadline => {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for DataPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataPlane")
+            .field("external_medium", &self.external_medium)
+            .field("servers", &self.buses.len())
+            .field("ledger", &self.ledger())
+            .finish()
+    }
+}
+
+fn partition_key(edge: u32, from_task: u32, to_task: u32) -> String {
+    format!("shuffle/e{edge}/{from_task}/{to_task}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_by_colocation() {
+        let dp = DataPlane::new(Medium::S3, 2);
+        assert_eq!(dp.medium_between(0, 0), Medium::SharedMemory);
+        assert_eq!(dp.medium_between(0, 1), Medium::S3);
+        assert!(dp.transfer_time(0, 0, 1 << 20) < dp.transfer_time(0, 1, 1 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "Redis or S3")]
+    fn shared_memory_not_external() {
+        DataPlane::new(Medium::SharedMemory, 1);
+    }
+
+    #[test]
+    fn physical_same_server_via_bus() {
+        let dp = DataPlane::new(Medium::S3, 2);
+        dp.send_partition(0, 0, 1, 1, 1, Bytes::from_static(b"abc")).unwrap();
+        let got = dp
+            .recv_partition(0, 0, 1, 1, 1, Duration::from_millis(50))
+            .unwrap();
+        assert_eq!(got, Bytes::from_static(b"abc"));
+        let l = dp.ledger();
+        assert_eq!(l.shared_memory.transfers, 1);
+        assert_eq!(l.shared_memory.bytes_in, 3);
+        assert_eq!(l.s3.transfers, 0);
+    }
+
+    #[test]
+    fn physical_cross_server_via_external() {
+        let dp = DataPlane::new(Medium::Redis, 2);
+        dp.send_partition(3, 1, 0, 0, 1, Bytes::from_static(b"xyz")).unwrap();
+        let got = dp
+            .recv_partition(3, 1, 0, 0, 1, Duration::from_millis(50))
+            .unwrap();
+        assert_eq!(got, Bytes::from_static(b"xyz"));
+        assert_eq!(dp.ledger().redis.transfers, 1);
+    }
+
+    #[test]
+    fn recv_external_polls_until_available() {
+        let dp = Arc::new(DataPlane::new(Medium::S3, 2));
+        let dp2 = dp.clone();
+        let t = std::thread::spawn(move || {
+            dp2.recv_partition(0, 0, 0, 0, 1, Duration::from_secs(2))
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        dp.send_partition(0, 0, 0, 0, 1, Bytes::from_static(b"late")).unwrap();
+        assert_eq!(t.join().unwrap().unwrap(), Bytes::from_static(b"late"));
+    }
+
+    #[test]
+    fn persistence_cost_accrues() {
+        let dp = DataPlane::new(Medium::Redis, 1);
+        dp.record_persistence(Medium::SharedMemory, 1_000_000_000, 3.0);
+        dp.record_persistence(Medium::S3, 1_000_000_000, 100.0); // free
+        let l = dp.ledger();
+        assert!(l.shared_memory.persistence_cost > 0.0);
+        assert_eq!(l.s3.persistence_cost, 0.0);
+        assert!((l.total_persistence_cost() - l.shared_memory.persistence_cost).abs() < 1e-12);
+    }
+}

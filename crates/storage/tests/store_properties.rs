@@ -1,0 +1,83 @@
+//! Property-based tests of the object store's accounting invariants.
+
+use bytes::Bytes;
+use ditto_storage::{ObjectStore, StoreError};
+use proptest::prelude::*;
+
+/// A random sequence of store operations.
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, usize),
+    Get(u8),
+    Delete(u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..16, 0usize..512).prop_map(|(k, n)| Op::Put(k, n)),
+            (0u8..16).prop_map(Op::Get),
+            (0u8..16).prop_map(Op::Delete),
+        ],
+        0..64,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Residency always equals the sum of live object sizes; peak is a
+    /// running maximum; reads return exactly what was written.
+    #[test]
+    fn accounting_invariants(ops in arb_ops()) {
+        let store = ObjectStore::unbounded("test");
+        let mut shadow: std::collections::HashMap<u8, usize> = Default::default();
+        let mut peak = 0usize;
+        for op in ops {
+            match op {
+                Op::Put(k, n) => {
+                    store.put(format!("k{k}"), Bytes::from(vec![k; n])).unwrap();
+                    shadow.insert(k, n);
+                    peak = peak.max(shadow.values().sum());
+                }
+                Op::Get(k) => match store.get(&format!("k{k}")) {
+                    Ok(v) => {
+                        prop_assert_eq!(v.len(), shadow[&k]);
+                        prop_assert!(v.iter().all(|&b| b == k));
+                    }
+                    Err(StoreError::NotFound(_)) => prop_assert!(!shadow.contains_key(&k)),
+                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                },
+                Op::Delete(k) => {
+                    let existed = store.delete(&format!("k{k}"));
+                    prop_assert_eq!(existed, shadow.remove(&k).is_some());
+                }
+            }
+            let expect: usize = shadow.values().sum();
+            prop_assert_eq!(store.stats().resident_bytes as usize, expect);
+            prop_assert!(store.stats().peak_bytes as usize >= expect);
+        }
+        prop_assert_eq!(store.stats().peak_bytes as usize, peak);
+    }
+
+    /// A bounded store never exceeds its capacity, and a failed put leaves
+    /// the store unchanged.
+    #[test]
+    fn bounded_store_never_overflows(cap in 64u64..512, ops in arb_ops()) {
+        let store = ObjectStore::bounded("bounded", cap);
+        for op in ops {
+            if let Op::Put(k, n) = op {
+                let before = store.stats();
+                match store.put(format!("k{k}"), Bytes::from(vec![0u8; n])) {
+                    Ok(()) => prop_assert!(store.stats().resident_bytes <= cap),
+                    Err(StoreError::CapacityExceeded { .. }) => {
+                        let after = store.stats();
+                        prop_assert_eq!(before.resident_bytes, after.resident_bytes);
+                        prop_assert_eq!(before.puts, after.puts);
+                    }
+                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                }
+            }
+        }
+    }
+}

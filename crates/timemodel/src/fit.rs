@@ -1,0 +1,186 @@
+//! Least-squares fitting of profile samples to the `α/d + β` step model.
+//!
+//! The paper fits α and β offline from ~5 profiled degrees of parallelism
+//! per step (§6.5, Table 2). With the substitution `x = 1/d` the model is
+//! linear (`t = α·x + β`), so ordinary least squares applies directly.
+
+/// Result of fitting `(d, t)` samples to `t = α/d + β`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitResult {
+    /// Fitted parallelizable time (seconds·tasks), ≥ 0.
+    pub alpha: f64,
+    /// Fitted inherent time (seconds), ≥ 0.
+    pub beta: f64,
+    /// Coefficient of determination on the provided samples (1.0 = exact).
+    /// When the samples have no variance, defined as 1.0 for a perfect
+    /// constant fit and 0.0 otherwise.
+    pub r_squared: f64,
+}
+
+/// Fit `t = α/d + β` to samples of `(dop, seconds)` by ordinary least
+/// squares on `x = 1/d`, with non-negativity projection: a negative
+/// unconstrained α or β is clamped to zero and the other parameter re-fit
+/// (the one-dimensional problems have closed forms).
+///
+/// ```
+/// use ditto_timemodel::fit_step;
+/// // Five profiled DoPs from t = 120/d + 3 recover the parameters.
+/// let samples: Vec<(u32, f64)> =
+///     [10, 20, 40, 80, 120].iter().map(|&d| (d, 120.0 / d as f64 + 3.0)).collect();
+/// let fit = fit_step(&samples);
+/// assert!((fit.alpha - 120.0).abs() < 1e-6);
+/// assert!((fit.beta - 3.0).abs() < 1e-6);
+/// ```
+///
+/// # Panics
+/// Panics if fewer than 2 samples are given or any `dop == 0`.
+pub fn fit_step(samples: &[(u32, f64)]) -> FitResult {
+    assert!(samples.len() >= 2, "need at least two samples to fit");
+    let n = samples.len() as f64;
+    let xs: Vec<f64> = samples
+        .iter()
+        .map(|&(d, _)| {
+            assert!(d > 0, "degree of parallelism must be positive");
+            1.0 / d as f64
+        })
+        .collect();
+    let ts: Vec<f64> = samples.iter().map(|&(_, t)| t).collect();
+
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_t = ts.iter().sum::<f64>() / n;
+    let var_x: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+    let cov_xt: f64 = xs
+        .iter()
+        .zip(&ts)
+        .map(|(x, t)| (x - mean_x) * (t - mean_t))
+        .sum();
+
+    let (mut alpha, mut beta);
+    if var_x < 1e-18 {
+        // All samples at the same DoP: attribute everything to β.
+        alpha = 0.0;
+        beta = mean_t;
+    } else {
+        alpha = cov_xt / var_x;
+        beta = mean_t - alpha * mean_x;
+    }
+
+    // Non-negativity projection.
+    if alpha < 0.0 {
+        alpha = 0.0;
+        beta = mean_t;
+    }
+    if beta < 0.0 {
+        beta = 0.0;
+        // Re-fit α alone: minimize Σ (t - αx)² ⇒ α = Σ tx / Σ x².
+        let sxx: f64 = xs.iter().map(|x| x * x).sum();
+        alpha = if sxx > 0.0 {
+            xs.iter().zip(&ts).map(|(x, t)| x * t).sum::<f64>() / sxx
+        } else {
+            0.0
+        };
+        alpha = alpha.max(0.0);
+    }
+    beta = beta.max(0.0);
+
+    // R² on the final (projected) parameters.
+    let ss_tot: f64 = ts.iter().map(|t| (t - mean_t).powi(2)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(&ts)
+        .map(|(x, t)| (t - (alpha * x + beta)).powi(2))
+        .sum();
+    let r_squared = if ss_tot < 1e-18 {
+        if ss_res < 1e-12 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+
+    FitResult {
+        alpha,
+        beta,
+        r_squared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_model() {
+        // t = 120/d + 3
+        let samples: Vec<(u32, f64)> = [1u32, 2, 4, 8, 16]
+            .iter()
+            .map(|&d| (d, 120.0 / d as f64 + 3.0))
+            .collect();
+        let fit = fit_step(&samples);
+        assert!((fit.alpha - 120.0).abs() < 1e-9);
+        assert!((fit.beta - 3.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn robust_to_noise() {
+        // t = 60/d + 1, with deterministic ±2% perturbation.
+        let samples: Vec<(u32, f64)> = [2u32, 4, 8, 16, 32, 64]
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                let noise = if i % 2 == 0 { 1.02 } else { 0.98 };
+                (d, (60.0 / d as f64 + 1.0) * noise)
+            })
+            .collect();
+        let fit = fit_step(&samples);
+        assert!((fit.alpha - 60.0).abs() / 60.0 < 0.05, "alpha={}", fit.alpha);
+        assert!((fit.beta - 1.0).abs() < 0.5, "beta={}", fit.beta);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn constant_samples_attributed_to_beta() {
+        let fit = fit_step(&[(1, 5.0), (10, 5.0), (100, 5.0)]);
+        assert!(fit.alpha.abs() < 1e-9);
+        assert!((fit.beta - 5.0).abs() < 1e-9);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn same_dop_samples() {
+        let fit = fit_step(&[(4, 5.0), (4, 7.0)]);
+        assert_eq!(fit.alpha, 0.0);
+        assert!((fit.beta - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projects_negative_beta() {
+        // Time *drops faster* than 1/d near small d: unconstrained β < 0.
+        let fit = fit_step(&[(1, 100.0), (2, 40.0), (4, 15.0)]);
+        assert!(fit.beta >= 0.0);
+        assert!(fit.alpha > 0.0);
+    }
+
+    #[test]
+    fn projects_negative_alpha() {
+        // Time *increases* with d (launch overhead dominates): α clamps to 0.
+        let fit = fit_step(&[(1, 1.0), (2, 2.0), (4, 4.0)]);
+        assert_eq!(fit.alpha, 0.0);
+        assert!((fit.beta - 7.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn rejects_single_sample() {
+        fit_step(&[(1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_dop_sample() {
+        fit_step(&[(0, 1.0), (2, 1.0)]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests of the least-squares step fitting.
+
+use ditto_timemodel::fit_step;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Noise-free samples from t = α/d + β are recovered exactly.
+    #[test]
+    fn recovers_exact_parameters(alpha in 0.0f64..1e4, beta in 0.0f64..1e2) {
+        let samples: Vec<(u32, f64)> = [3u32, 7, 19, 53, 131]
+            .iter()
+            .map(|&d| (d, alpha / d as f64 + beta))
+            .collect();
+        let fit = fit_step(&samples);
+        prop_assert!((fit.alpha - alpha).abs() < 1e-6 * alpha.max(1.0), "alpha {} vs {}", fit.alpha, alpha);
+        prop_assert!((fit.beta - beta).abs() < 1e-6 * beta.max(1.0), "beta {} vs {}", fit.beta, beta);
+        prop_assert!(fit.r_squared > 1.0 - 1e-9);
+    }
+
+    /// Fitted parameters are always non-negative, whatever the samples.
+    #[test]
+    fn parameters_non_negative(
+        samples in proptest::collection::vec((1u32..200, 0.0f64..1e4), 2..12)
+    ) {
+        let fit = fit_step(&samples);
+        prop_assert!(fit.alpha >= 0.0);
+        prop_assert!(fit.beta >= 0.0);
+        prop_assert!(fit.alpha.is_finite() && fit.beta.is_finite());
+    }
+
+    /// The fit is invariant under sample order.
+    #[test]
+    fn order_invariant(
+        samples in proptest::collection::vec((1u32..200, 0.0f64..1e4), 2..10),
+        seed in 0u64..100,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let fit_a = fit_step(&samples);
+        let mut shuffled = samples.clone();
+        shuffled.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let fit_b = fit_step(&shuffled);
+        prop_assert!((fit_a.alpha - fit_b.alpha).abs() < 1e-6 * fit_a.alpha.max(1.0));
+        prop_assert!((fit_a.beta - fit_b.beta).abs() < 1e-6 * fit_a.beta.max(1.0));
+    }
+
+    /// Small multiplicative noise perturbs the fit proportionally: the
+    /// recovered α stays within the noise envelope.
+    #[test]
+    fn robust_to_bounded_noise(alpha in 1.0f64..1e4, beta in 0.0f64..10.0, eps in 0.0f64..0.05) {
+        let samples: Vec<(u32, f64)> = [2u32, 5, 11, 23, 47, 97]
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                let noise = if i % 2 == 0 { 1.0 + eps } else { 1.0 - eps };
+                (d, (alpha / d as f64 + beta) * noise)
+            })
+            .collect();
+        let fit = fit_step(&samples);
+        prop_assert!((fit.alpha - alpha).abs() <= alpha * (4.0 * eps + 1e-6),
+            "alpha {} vs {} under eps {}", fit.alpha, alpha, eps);
+    }
+}

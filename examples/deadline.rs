@@ -1,0 +1,62 @@
+//! Deadline-constrained scheduling: "finish by X, as cheap as possible".
+//!
+//! Sweeps deadlines between the JCT-optimal and cost-optimal extremes on
+//! Q95 and shows the cost/latency frontier the blend explores — an
+//! extension beyond the paper's fixed JCT-or-cost objectives.
+//!
+//! ```sh
+//! cargo run --release --example deadline
+//! ```
+
+use ditto::cluster::{Cluster, ResourceManager, SlotDistribution};
+use ditto::core::deadline::schedule_with_deadline;
+use ditto::core::{joint_optimize, JointOptions, Objective};
+use ditto::exec::{profile_job, simulate, ExecConfig, GroundTruth};
+use ditto::sql::queries::Query;
+use ditto::sql::{Database, ScaleConfig};
+
+fn main() {
+    let db = Database::generate(ScaleConfig::with_sf(0.5));
+    let mut plan = Query::Q95.prepared_plan(&db);
+    plan.scale_volumes(40_000.0);
+    let gt = GroundTruth::new(ExecConfig::default());
+    let profile = profile_job(&plan.dag, &gt, &[10, 20, 40, 80, 120]);
+    let (model, _) = profile.build_model(&plan.dag);
+    let rm = ResourceManager::snapshot(&Cluster::paper_testbed(&SlotDistribution::zipf_09()));
+
+    // The two extremes.
+    let fast = joint_optimize(&plan.dag, &model, &rm, Objective::Jct, &JointOptions::default());
+    let cheap = joint_optimize(&plan.dag, &model, &rm, Objective::Cost, &JointOptions::default());
+    let (_, m_fast) = simulate(&plan.dag, &fast, &gt);
+    let (_, m_cheap) = simulate(&plan.dag, &cheap, &gt);
+    println!("JCT-optimal : {:>6.1}s  {:>8.1} GB·s", m_fast.jct, m_fast.total_cost());
+    println!("cost-optimal: {:>6.1}s  {:>8.1} GB·s", m_cheap.jct, m_cheap.total_cost());
+
+    // The scheduler promises deadlines against its *predicted* JCT, which
+    // is conservative (it budgets for the slowest task of every stage);
+    // deadlines below that floor are reported unreachable even though a
+    // lucky run may beat them.
+    let frac: Vec<f64> = fast.dop.iter().map(|&d| d as f64).collect();
+    let floor = ditto::core::predicted_jct(&plan.dag, &model, &frac, &fast.colocated);
+    println!("predicted floor (slowest-task budget): {floor:.1}s\n");
+
+    println!("deadline    simulated JCT    cost");
+    let lo = floor * 0.95; // include one unreachable row for illustration
+    let hi = m_cheap.jct.max(floor * 1.5);
+    for i in 0..6 {
+        let deadline = lo + (hi - lo) * i as f64 / 5.0;
+        match schedule_with_deadline(&plan.dag, &model, &rm, deadline, &JointOptions::default()) {
+            Some(schedule) => {
+                let (_, m) = simulate(&plan.dag, &schedule, &gt);
+                let met = if m.jct <= deadline * 1.1 { "✓" } else { "≈" };
+                println!(
+                    "{deadline:>7.1}s {:>11.1}s {met} {:>8.1} GB·s",
+                    m.jct,
+                    m.total_cost()
+                );
+            }
+            None => println!("{deadline:>7.1}s   unreachable"),
+        }
+    }
+    println!("\nTighter deadlines buy speed with slots; looser ones shed cost.");
+}

@@ -1,0 +1,81 @@
+//! Elastic vs fixed parallelism on Q95 (the paper's Fig. 14/15 story).
+//!
+//! Under a skewed cluster (Zipf-0.9 slot availability), a fixed per-stage
+//! DoP wastes slots on short stages and starves the long ones. Ditto
+//! expands the critical-path stages and shrinks the overlapped ones; this
+//! example prints both Gantt charts and the per-stage step breakdown.
+//!
+//! ```sh
+//! cargo run --release --example elastic_vs_fixed
+//! ```
+
+use ditto::cluster::{Cluster, ResourceManager, SlotDistribution};
+use ditto::core::baselines::FixedDopScheduler;
+use ditto::core::{DittoScheduler, Objective, Scheduler, SchedulingContext};
+use ditto::exec::{profile_job, simulate, ExecConfig, GroundTruth};
+use ditto::sql::queries::Query;
+use ditto::sql::{Database, ScaleConfig};
+
+fn main() {
+    let db = Database::generate(ScaleConfig::with_sf(0.5));
+    let mut plan = Query::Q95.prepared_plan(&db);
+    plan.scale_volumes(40_000.0); // paper-scale volumes
+
+    let gt = GroundTruth::new(ExecConfig::default());
+    let profile = profile_job(&plan.dag, &gt, &[10, 20, 40, 80, 120]);
+    let (model, _) = profile.build_model(&plan.dag);
+
+    let cluster = Cluster::paper_testbed(&SlotDistribution::zipf_09());
+    let rm = ResourceManager::snapshot(&cluster);
+    println!(
+        "cluster: {} servers, {} free slots {:?}\n",
+        cluster.num_servers(),
+        rm.total_free(),
+        cluster.free_slots()
+    );
+
+    let fixed_dop = rm.total_free() / plan.dag.num_stages() as u32;
+    let fixed = FixedDopScheduler { dop: fixed_dop }.schedule(&SchedulingContext {
+        dag: &plan.dag,
+        model: &model,
+        resources: &rm,
+        objective: Objective::Jct,
+    });
+    let elastic = DittoScheduler::new().schedule(&SchedulingContext {
+        dag: &plan.dag,
+        model: &model,
+        resources: &rm,
+        objective: Objective::Jct,
+    });
+
+    let (ft, fm) = simulate(&plan.dag, &fixed, &gt);
+    let (et, em) = simulate(&plan.dag, &elastic, &gt);
+
+    println!("=== fixed parallelism (DoP {fixed_dop} everywhere) ===");
+    println!("{}", ft.ascii_gantt(64));
+    println!("per-stage breakdown (mean seconds per task):");
+    println!("  stage            tasks  setup   read  compute  write");
+    for b in ft.stage_breakdowns() {
+        println!(
+            "  {:>2} {:<12} {:>5}  {:>5.1}  {:>5.1}  {:>7.1}  {:>5.1}",
+            b.stage + 1,
+            plan.dag.stages()[b.stage as usize].name,
+            b.tasks,
+            b.setup,
+            b.read,
+            b.compute,
+            b.write
+        );
+    }
+
+    println!("\n=== elastic parallelism (Ditto) ===");
+    println!("per-stage DoP: {:?}", elastic.dop);
+    println!("{}", et.ascii_gantt(64));
+
+    println!(
+        "fixed JCT = {:.1}s, elastic JCT = {:.1}s  ({:.2}x speedup, same slot budget)",
+        fm.jct,
+        em.jct,
+        fm.jct / em.jct
+    );
+}

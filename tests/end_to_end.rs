@@ -1,0 +1,174 @@
+//! End-to-end integration: data → plan → profile → fit → schedule →
+//! simulate, across all four queries and all schedulers.
+
+use ditto::cluster::{Cluster, ResourceManager, SlotDistribution};
+use ditto::core::baselines::{
+    EvenSplitScheduler, NimbleDopScheduler, NimbleGroupScheduler, NimbleScheduler,
+};
+use ditto::core::{DittoScheduler, Objective, Scheduler, SchedulingContext};
+use ditto::exec::{profile_job, simulate, ExecConfig, GroundTruth, JobMetrics};
+use ditto::sql::queries::Query;
+use ditto::sql::{Database, QueryPlan, ScaleConfig};
+use ditto::storage::Medium;
+use ditto::timemodel::JobTimeModel;
+
+struct Pipeline {
+    plan: QueryPlan,
+    model: JobTimeModel,
+    gt: GroundTruth,
+}
+
+fn pipeline(q: Query) -> Pipeline {
+    let db = Database::generate(ScaleConfig::with_sf(0.5));
+    let mut plan = q.prepared_plan(&db);
+    plan.scale_volumes(40_000.0);
+    let gt = GroundTruth::new(ExecConfig {
+        external: Medium::S3,
+        ..Default::default()
+    });
+    let profile = profile_job(&plan.dag, &gt, &[10, 20, 40, 80, 120]);
+    let (model, _) = profile.build_model(&plan.dag);
+    Pipeline { plan, model, gt }
+}
+
+fn run(p: &Pipeline, s: &dyn Scheduler, rm: &ResourceManager, obj: Objective) -> JobMetrics {
+    let schedule = s.schedule(&SchedulingContext {
+        dag: &p.plan.dag,
+        model: &p.model,
+        resources: rm,
+        objective: obj,
+    });
+    schedule
+        .validate(&p.plan.dag)
+        .unwrap_or_else(|e| panic!("{} produced invalid schedule: {e}", s.name()));
+    assert!(schedule.total_slots() <= rm.total_free());
+    simulate(&p.plan.dag, &schedule, &p.gt).1
+}
+
+#[test]
+fn ditto_beats_nimble_on_jct_for_every_query() {
+    let rm = ResourceManager::snapshot(&Cluster::paper_testbed(&SlotDistribution::zipf_09()));
+    for q in Query::all() {
+        let p = pipeline(q);
+        let ditto = run(&p, &DittoScheduler::new(), &rm, Objective::Jct);
+        let nimble = run(&p, &NimbleScheduler::default(), &rm, Objective::Jct);
+        let speedup = nimble.jct / ditto.jct;
+        assert!(
+            speedup > 1.0 && speedup < 5.0,
+            "{q}: implausible speedup {speedup:.2} (ditto {:.1}s, nimble {:.1}s)",
+            ditto.jct,
+            nimble.jct
+        );
+    }
+}
+
+#[test]
+fn ditto_not_more_expensive_than_nimble_for_cost_objective() {
+    let rm = ResourceManager::snapshot(&Cluster::paper_testbed(&SlotDistribution::zipf_09()));
+    for q in Query::all() {
+        let p = pipeline(q);
+        let ditto = run(&p, &DittoScheduler::new(), &rm, Objective::Cost);
+        let nimble = run(&p, &NimbleScheduler::default(), &rm, Objective::Cost);
+        assert!(
+            ditto.total_cost() <= nimble.total_cost() * 1.02,
+            "{q}: ditto {:.1} vs nimble {:.1}",
+            ditto.total_cost(),
+            nimble.total_cost()
+        );
+    }
+}
+
+#[test]
+fn ablation_components_land_between_nimble_and_ditto() {
+    // Fig. 12's qualitative claim: each component alone already helps.
+    let rm = ResourceManager::snapshot(&Cluster::paper_testbed(&SlotDistribution::zipf_09()));
+    let p = pipeline(Query::Q95);
+    let nimble = run(&p, &NimbleScheduler::default(), &rm, Objective::Jct).jct;
+    let group = run(&p, &NimbleGroupScheduler, &rm, Objective::Jct).jct;
+    let dop = run(&p, &NimbleDopScheduler, &rm, Objective::Jct).jct;
+    let ditto = run(&p, &DittoScheduler::new(), &rm, Objective::Jct).jct;
+    assert!(group < nimble, "grouping alone helps: {group} vs {nimble}");
+    assert!(dop < nimble, "DoP ratios alone help: {dop} vs {nimble}");
+    assert!(ditto <= group * 1.02 && ditto <= dop * 1.02, "the combination is best");
+}
+
+#[test]
+fn jct_improves_with_more_available_slots() {
+    let p = pipeline(Query::Q95);
+    let mut last = f64::INFINITY;
+    for usage in [0.25, 0.5, 0.75, 1.0] {
+        let rm = ResourceManager::snapshot(&Cluster::paper_testbed(&SlotDistribution::Uniform {
+            usage,
+        }));
+        let m = run(&p, &DittoScheduler::new(), &rm, Objective::Jct);
+        assert!(
+            m.jct <= last * 1.05,
+            "more slots should not hurt: usage {usage} gives {} after {last}",
+            m.jct
+        );
+        last = m.jct;
+    }
+}
+
+#[test]
+fn every_scheduler_handles_every_distribution() {
+    let dists = [
+        SlotDistribution::Uniform { usage: 0.5 },
+        SlotDistribution::Normal { sigma: 1.0 },
+        SlotDistribution::Normal { sigma: 0.8 },
+        SlotDistribution::Zipf { theta: 0.9 },
+        SlotDistribution::Zipf { theta: 0.99 },
+    ];
+    let p = pipeline(Query::Q16);
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(DittoScheduler::new()),
+        Box::new(NimbleScheduler::default()),
+        Box::new(NimbleGroupScheduler),
+        Box::new(NimbleDopScheduler),
+        Box::new(EvenSplitScheduler),
+    ];
+    for dist in &dists {
+        let rm = ResourceManager::snapshot(&Cluster::paper_testbed(dist));
+        for s in &schedulers {
+            let m = run(&p, s.as_ref(), &rm, Objective::Jct);
+            assert!(m.jct.is_finite() && m.jct > 0.0, "{} under {dist:?}", s.name());
+        }
+    }
+}
+
+#[test]
+fn redis_reduces_jct_vs_s3_for_both_schedulers() {
+    // §6.3: fast external storage helps, and Ditto still wins on top.
+    let rm = ResourceManager::snapshot(&Cluster::paper_testbed(&SlotDistribution::zipf_09()));
+    let db = Database::generate(ScaleConfig::with_sf(0.5));
+    let mut plan = Query::Q95.prepared_plan(&db);
+    plan.scale_volumes(4_000.0);
+    for scheduler in [
+        &DittoScheduler::new() as &dyn Scheduler,
+        &NimbleScheduler::default(),
+    ] {
+        let mut jcts = Vec::new();
+        for medium in [Medium::S3, Medium::Redis] {
+            let gt = GroundTruth::new(ExecConfig {
+                external: medium,
+                ..Default::default()
+            });
+            let profile = profile_job(&plan.dag, &gt, &[10, 20, 40, 80, 120]);
+            let (model, _) = profile.build_model(&plan.dag);
+            let schedule = scheduler.schedule(&SchedulingContext {
+                dag: &plan.dag,
+                model: &model,
+                resources: &rm,
+                objective: Objective::Jct,
+            });
+            jcts.push(simulate(&plan.dag, &schedule, &gt).1.jct);
+        }
+        assert!(
+            jcts[1] < jcts[0],
+            "{}: redis {} should beat s3 {}",
+            scheduler.name(),
+            jcts[1],
+            jcts[0]
+        );
+    }
+}
