@@ -15,7 +15,7 @@ fn main() {
     let all = [
         "fig1", "fig2", "fig4", "fig5", "fig8a", "fig8b", "fig8c", "fig9a", "fig9b", "fig9c",
         "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table1", "table2", "ablations",
-        "multi", "deadline", "export",
+        "multi", "deadline", "faults", "export",
     ];
     let targets: Vec<&str> = if wanted.is_empty() || wanted.contains(&"all") {
         all.to_vec()
@@ -75,6 +75,7 @@ fn main() {
             "ablations" => emit(&ditto_bench::all_ablations(), json),
             "multi" => emit(&ditto_bench::multi_job(), json),
             "deadline" => emit(&ditto_bench::deadline_sweep(), json),
+            "faults" => emit(&ditto_bench::fault_sweep(), json),
             "export" => {
                 // Artifacts: the Ditto-scheduled Q95 DAG as Graphviz DOT
                 // (groups colored) and its simulated trace as a Chrome

@@ -732,6 +732,86 @@ pub fn table2() -> Vec<BuildTimeRow> {
         .collect()
 }
 
+/// One fault-sweep measurement: a schedule simulated under injected
+/// faults, relative to its own fault-free run.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultSweepRow {
+    /// Scheduler ("ditto" / "nimble").
+    pub scheduler: String,
+    /// Recovery policy ("retry" / "retry+spec").
+    pub policy: String,
+    /// Per-attempt crash probability == per-task straggler probability.
+    pub fault_rate: f64,
+    /// Simulated JCT under faults, seconds.
+    pub jct_seconds: f64,
+    /// JCT relative to the fault-free run of the same schedule (≥ 1).
+    pub jct_degradation: f64,
+    /// Total cost relative to the fault-free run.
+    pub cost_overhead: f64,
+    /// Failed / superseded attempts across the job.
+    pub extra_attempts: u32,
+    /// Billed-but-discarded work, GB·s.
+    pub wasted_gb_s: f64,
+}
+
+/// Robustness sweep (extension beyond the paper): Q95 on the §6 testbed
+/// under seeded random crashes and 4× stragglers at increasing fault
+/// rates, Ditto vs NIMBLE schedules, bounded-retry vs retry+speculation
+/// recovery. Deterministic: one seed names one fault history per rate.
+pub fn fault_sweep() -> Vec<FaultSweepRow> {
+    use ditto_exec::{try_simulate_with_faults, FaultPlan, FaultRates, RecoveryPolicy};
+    let p = prepare(Query::Q95, Medium::S3);
+    let rm = default_testbed();
+    let ditto = DittoScheduler::new();
+    let nimble = NimbleScheduler::default();
+    let schedulers: [(&dyn Scheduler, &str); 2] = [(&ditto, "ditto"), (&nimble, "nimble")];
+    let policies = [
+        (
+            "retry",
+            RecoveryPolicy {
+                max_retries: 16,
+                ..RecoveryPolicy::retry_only()
+            },
+        ),
+        (
+            "retry+spec",
+            RecoveryPolicy {
+                max_retries: 16,
+                ..RecoveryPolicy::default()
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (s, name) in schedulers {
+        let schedule = p.schedule(s, &rm, Objective::Jct);
+        let (_, base) = simulate(&p.plan.dag, &schedule, &p.gt);
+        for rate in [0.02, 0.05, 0.1, 0.2] {
+            for (policy_name, policy) in &policies {
+                let plan = FaultPlan::from_rates(FaultRates {
+                    crash_prob: rate,
+                    straggler_prob: rate,
+                    straggler_slowdown: 4.0,
+                    seed: 17,
+                });
+                let (_, m) =
+                    try_simulate_with_faults(&p.plan.dag, &schedule, &p.gt, &plan, policy, None)
+                        .expect("bounded fault rates recover within 16 retries");
+                rows.push(FaultSweepRow {
+                    scheduler: name.into(),
+                    policy: (*policy_name).into(),
+                    fault_rate: rate,
+                    jct_seconds: m.jct,
+                    jct_degradation: m.jct / base.jct,
+                    cost_overhead: m.total_cost() / base.total_cost(),
+                    extra_attempts: m.faults.extra_attempts,
+                    wasted_gb_s: m.faults.wasted_gb_s,
+                });
+            }
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -810,6 +890,44 @@ mod tests {
                 "{}: {} ms exceeds the paper's 0.3 s bound",
                 row.query,
                 row.build_millis
+            );
+        }
+    }
+
+    #[test]
+    fn fault_sweep_covers_rates_and_degrades_gracefully() {
+        let rows = fault_sweep();
+        let rates: std::collections::HashSet<u64> =
+            rows.iter().map(|r| r.fault_rate.to_bits()).collect();
+        assert!(rates.len() >= 3, "sweep must cover at least 3 failure rates");
+        for sys in ["ditto", "nimble"] {
+            assert!(rows.iter().any(|r| r.scheduler == sys), "missing {sys}");
+        }
+        for r in &rows {
+            assert!(
+                r.jct_degradation >= 1.0 - 1e-9,
+                "faults cannot speed a job up: {r:?}"
+            );
+            // Storage residency windows can wiggle slightly; compute-side
+            // overhead dominates.
+            assert!(r.cost_overhead >= 0.99, "cost dropped under faults: {r:?}");
+        }
+        // The highest rate must actually bite…
+        assert!(rows
+            .iter()
+            .filter(|r| r.fault_rate >= 0.2)
+            .all(|r| r.extra_attempts > 0 && r.wasted_gb_s > 0.0));
+        // …and speculation can only help (per-task end never increases).
+        for sys in ["ditto", "nimble"] {
+            let jct = |policy: &str| {
+                rows.iter()
+                    .find(|r| r.scheduler == sys && r.policy == policy && r.fault_rate >= 0.2)
+                    .unwrap()
+                    .jct_seconds
+            };
+            assert!(
+                jct("retry+spec") <= jct("retry") + 1e-9,
+                "{sys}: speculation must not hurt"
             );
         }
     }

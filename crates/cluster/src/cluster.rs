@@ -86,6 +86,23 @@ impl Cluster {
     pub fn free_slots(&self) -> Vec<u32> {
         self.servers.iter().map(|s| s.free()).collect()
     }
+
+    /// Take a server down (see [`Server::fail`]); returns the free slots
+    /// lost. Snapshots taken afterwards see zero capacity there, so new
+    /// schedules route around the failure.
+    pub fn fail_server(&mut self, id: ServerId) -> u32 {
+        self.servers[id.index()].fail()
+    }
+
+    /// Bring a failed server back with `available` free slots.
+    pub fn restore_server(&mut self, id: ServerId, available: u32) {
+        self.servers[id.index()].restore(available);
+    }
+
+    /// Number of servers currently up.
+    pub fn online_servers(&self) -> usize {
+        self.servers.iter().filter(|s| s.is_online()).count()
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +138,19 @@ mod tests {
         let c = Cluster::from_availability(&[(96, 50), (96, 96)]);
         assert_eq!(c.server(ServerId(0)).free(), 50);
         assert_eq!(c.server(ServerId(1)).free(), 96);
+    }
+
+    #[test]
+    fn fail_server_removes_capacity_from_snapshots() {
+        let mut c = Cluster::uniform(3, 8);
+        assert_eq!(c.online_servers(), 3);
+        assert_eq!(c.fail_server(ServerId(1)), 8);
+        assert_eq!(c.online_servers(), 2);
+        assert_eq!(c.free_slots(), vec![8, 0, 8]);
+        assert_eq!(c.total_free_slots(), 16);
+        c.restore_server(ServerId(1), 5);
+        assert_eq!(c.online_servers(), 3);
+        assert_eq!(c.free_slots(), vec![8, 5, 8]);
     }
 
     #[test]

@@ -64,6 +64,16 @@ impl ResourceManager {
         self.free[s.index()] += n;
     }
 
+    /// Remove a failed server from the snapshot: its free slots drop to
+    /// zero while indices stay stable (so `ServerId`s keep their meaning).
+    /// Returns the slots lost. Used by failure-aware rescheduling to
+    /// replan the remaining work on the surviving cluster.
+    pub fn fail_server(&mut self, idx: usize) -> u32 {
+        let lost = self.free[idx];
+        self.free[idx] = 0;
+        lost
+    }
+
     /// Best-fit server for `n` slots: the server whose free count is the
     /// *smallest* that still fits `n` (nearest slot number, §4.4). Ties go
     /// to the lower server id. `None` if no server fits.
@@ -164,6 +174,17 @@ mod tests {
         let mut m = rm(&[1, 1]);
         assert!(m.reserve_spread(3).is_none());
         assert_eq!(m.total_free(), 2, "failed spread must not mutate");
+    }
+
+    #[test]
+    fn fail_server_zeroes_but_keeps_indices() {
+        let mut m = rm(&[4, 6, 2]);
+        assert_eq!(m.fail_server(1), 6);
+        assert_eq!(m.num_servers(), 3, "indices stay stable");
+        assert_eq!(m.free_on(ServerId(1)), 0);
+        assert_eq!(m.total_free(), 6);
+        assert_eq!(m.best_fit(3), Some(ServerId(0)), "failed server never fits");
+        assert_eq!(m.fail_server(1), 0, "idempotent");
     }
 
     #[test]

@@ -89,7 +89,7 @@ impl RuntimeMonitor {
     /// Snapshot of all records (sorted by stage then task for determinism).
     pub fn records(&self) -> Vec<TaskRecord> {
         let mut v = self.records.lock().clone();
-        v.sort_by(|a, b| (a.stage, a.task).cmp(&(b.stage, b.task)));
+        v.sort_by_key(|a| (a.stage, a.task));
         v
     }
 

@@ -32,6 +32,9 @@ pub struct Server {
     pub capacity: u32,
     /// Currently free slots, ≤ capacity.
     free: u32,
+    /// Whether the server is up. A failed server offers no slots until
+    /// [`Server::restore`] brings it back.
+    online: bool,
 }
 
 impl Server {
@@ -41,6 +44,7 @@ impl Server {
             id,
             capacity,
             free: capacity,
+            online: true,
         }
     }
 
@@ -52,10 +56,35 @@ impl Server {
             id,
             capacity,
             free: available,
+            online: true,
         }
     }
 
-    /// Free slot count.
+    /// Whether the server is up.
+    pub fn is_online(&self) -> bool {
+        self.online
+    }
+
+    /// Take the server down: all free slots vanish and reservations fail
+    /// until restored. Returns the free slots lost (idempotent — a second
+    /// failure loses 0). Slots already reserved by running work are the
+    /// caller's problem: the tasks holding them are dead and must be
+    /// re-executed elsewhere.
+    pub fn fail(&mut self) -> u32 {
+        let lost = if self.online { self.free } else { 0 };
+        self.free = 0;
+        self.online = false;
+        lost
+    }
+
+    /// Bring a failed server back with `available` free slots (capped at
+    /// capacity). No-op beyond the state flip if already online.
+    pub fn restore(&mut self, available: u32) {
+        self.online = true;
+        self.free = available.min(self.capacity);
+    }
+
+    /// Free slot count (0 while offline).
     pub fn free(&self) -> u32 {
         self.free
     }
@@ -65,10 +94,11 @@ impl Server {
         self.capacity - self.free
     }
 
-    /// Reserve `n` slots; `false` (no change) if not enough are free.
+    /// Reserve `n` slots; `false` (no change) if not enough are free or
+    /// the server is offline.
     #[must_use]
     pub fn reserve(&mut self, n: u32) -> bool {
-        if n > self.free {
+        if !self.online || n > self.free {
             return false;
         }
         self.free -= n;
@@ -128,5 +158,21 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(ServerId(3).to_string(), "srv3");
+    }
+
+    #[test]
+    fn fail_and_restore_transitions() {
+        let mut s = Server::new(ServerId(0), 8);
+        assert!(s.reserve(3));
+        assert!(s.is_online());
+        assert_eq!(s.fail(), 5, "failure loses the remaining free slots");
+        assert!(!s.is_online());
+        assert_eq!(s.free(), 0);
+        assert!(!s.reserve(1), "offline servers accept no reservations");
+        assert_eq!(s.fail(), 0, "second failure is idempotent");
+        s.restore(99);
+        assert!(s.is_online());
+        assert_eq!(s.free(), 8, "restore caps free at capacity");
+        assert!(s.reserve(8));
     }
 }

@@ -157,10 +157,7 @@ pub fn schedule_with_deadline(
                 g.union(e.src, e.dst);
             }
         }
-        try_mask(&g, true).map(|r| {
-            groups = g;
-            r
-        })
+        try_mask(&g, true).inspect(|_| groups = g)
     })?;
 
     // Greedy grouping loop (cost order: the objective we minimize here).

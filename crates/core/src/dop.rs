@@ -19,14 +19,14 @@
 //! the merge tree back down splits the slot budget `C` by the recorded
 //! ratios. Each stage is merged exactly once: `O(|V|)`.
 //!
-//! **General DAGs.** A stage with several downstream consumers (out-degree
-//! > 1) breaks the tree structure. Following the paper's guidance that
-//! sibling-then-parent merging remains the right strategy, we reduce the
-//! DAG to a spanning in-forest: each such stage is attached to its
-//! *primary* consumer — the one on the heaviest α-path to the sink — and
-//! the merge runs on that forest. The stage's full I/O (all out-edges)
-//! still counts in its α, so only the ratio bookkeeping, not the modeled
-//! work, is approximated.
+//! **General DAGs.** A stage with several downstream consumers
+//! (out-degree above 1) breaks the tree structure. Following the paper's
+//! guidance that sibling-then-parent merging remains the right strategy,
+//! we reduce the DAG to a spanning in-forest: each such stage is attached
+//! to its *primary* consumer — the one on the heaviest α-path to the sink
+//! — and the merge runs on that forest. The stage's full I/O (all
+//! out-edges) still counts in its α, so only the ratio bookkeeping, not
+//! the modeled work, is approximated.
 //!
 //! **Cost.** Minimizing Σ M·T reduces to single-path JCT with parallelized
 //! times `ρᵢαᵢ` (§4.2), giving `dᵢ/dⱼ = √(ρᵢαᵢ)/√(ρⱼαⱼ)` for *all* stage

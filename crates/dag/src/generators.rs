@@ -71,9 +71,9 @@ pub fn q95_shape() -> JobDag {
         (map1, 30 * GB, 6 * GB),
         (groupby, 0, 2 * GB),
         (map2, 30 * GB, 3 * GB),
-        (reduce1, 0, 1 * GB),
+        (reduce1, 0, GB),
         (map3, 512 * MB, 64 * MB),
-        (join1, 0, 1 * GB),
+        (join1, 0, GB),
         (map4, 256 * MB, 32 * MB),
         (join2, 0, 512 * MB),
         (reduce2, 0, 16 * MB),
@@ -89,9 +89,9 @@ pub fn q95_shape() -> JobDag {
     g.add_edge(map1, groupby, EdgeKind::Shuffle, 6 * GB).unwrap();
     g.add_edge(groupby, reduce1, EdgeKind::Shuffle, 2 * GB).unwrap();
     g.add_edge(map2, reduce1, EdgeKind::Shuffle, 3 * GB).unwrap();
-    g.add_edge(reduce1, join1, EdgeKind::Gather, 1 * GB).unwrap();
+    g.add_edge(reduce1, join1, EdgeKind::Gather, GB).unwrap();
     g.add_edge(map3, join1, EdgeKind::AllGather, 64 * MB).unwrap();
-    g.add_edge(join1, join2, EdgeKind::Gather, 1 * GB).unwrap();
+    g.add_edge(join1, join2, EdgeKind::Gather, GB).unwrap();
     g.add_edge(map4, join2, EdgeKind::AllGather, 32 * MB).unwrap();
     g.add_edge(join2, reduce2, EdgeKind::Gather, 512 * MB).unwrap();
     g

@@ -1,0 +1,1071 @@
+//! Fault injection and recovery: the failure-shaped execution layer.
+//!
+//! Serverless analytics runs on preemptible functions and shared servers;
+//! the paper's schedules are only useful if they survive contact with
+//! crashes, stragglers and server loss. This module provides one fault
+//! vocabulary consumed by *both* engines (the discrete-event simulator and
+//! the physical local runtime):
+//!
+//! * [`FaultPlan`] — a deterministic, seed-driven description of what goes
+//!   wrong: explicit [`FaultEvent`]s (task crash at a fraction of its
+//!   runtime, straggler slowdown multiplier, whole-server failure at time
+//!   *t*) plus optional seeded random rates ([`FaultRates`]) that both
+//!   engines expand identically per `(stage, task, attempt)`;
+//! * [`RecoveryPolicy`] — how the system responds: bounded retry with
+//!   exponential backoff, speculative re-execution of stragglers past a
+//!   duration quantile, and failure-aware rescheduling (on server loss,
+//!   surviving work is kept, the resource snapshot is shrunk, and
+//!   [`joint_optimize`] replans the not-yet-started suffix of the DAG);
+//! * [`AttemptRecord`] / [`FaultStats`] — attempt-level accounting
+//!   (wasted GB·s, recovery delay) surfaced through
+//!   [`ExecutionTrace`](crate::trace::ExecutionTrace) and
+//!   [`JobMetrics`](crate::metrics::JobMetrics).
+//!
+//! Everything is deterministic: the same plan, policy and seed reproduce
+//! the same attempt history bit-for-bit, which is what the fixed-seed
+//! fault tests and the fault-sweep benchmark rely on.
+
+use crate::error::ExecError;
+use crate::groundtruth::GroundTruth;
+use crate::metrics::JobMetrics;
+use crate::trace::{ExecutionTrace, TaskTrace};
+use ditto_cluster::{ResourceManager, ServerId};
+use ditto_core::{joint_optimize, JointOptions, Objective, Schedule};
+use ditto_dag::{JobDag, StageId};
+use ditto_storage::CostModel;
+use ditto_timemodel::JobTimeModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------
+// Fault vocabulary
+// ---------------------------------------------------------------------
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// A specific task attempt crashes after `at_fraction` of its runtime
+    /// (its output is lost; the attempt is re-executed under the
+    /// [`RecoveryPolicy`]).
+    TaskCrash {
+        /// Stage of the doomed task.
+        stage: StageId,
+        /// Task index within the stage.
+        task: u32,
+        /// Which attempt dies (0 = the first execution).
+        attempt: u32,
+        /// Fraction of the attempt's runtime at which it dies, in (0, 1).
+        at_fraction: f64,
+    },
+    /// A task runs `slowdown`× slower than its ground-truth time (an
+    /// injected straggler, on top of any ground-truth noise).
+    Straggler {
+        /// Stage of the straggling task.
+        stage: StageId,
+        /// Task index within the stage.
+        task: u32,
+        /// Multiplier > 1 applied to the task's read/compute/write steps.
+        slowdown: f64,
+    },
+    /// A whole server dies at `at_time` seconds into the job: attempts
+    /// running on it are killed, and work not yet started may be
+    /// rescheduled onto the survivors.
+    ServerFailure {
+        /// The failing server.
+        server: ServerId,
+        /// Absolute failure time, seconds since job submission.
+        at_time: f64,
+    },
+}
+
+/// Seeded random fault rates, expanded deterministically per
+/// `(stage, task, attempt)` — the "config" form of a [`FaultPlan`]. Both
+/// engines draw from identical per-key RNG streams, so a seed names one
+/// reproducible fault history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Probability that any given task attempt crashes (independent per
+    /// attempt, clamped to ≤ 0.999 so retries terminate almost surely).
+    pub crash_prob: f64,
+    /// Probability a task is an injected straggler.
+    pub straggler_prob: f64,
+    /// Slowdown multiplier applied to injected stragglers.
+    pub straggler_slowdown: f64,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl FaultRates {
+    /// Rates that inject nothing (useful as a base for struct update).
+    pub fn none(seed: u64) -> Self {
+        FaultRates {
+            crash_prob: 0.0,
+            straggler_prob: 0.0,
+            straggler_slowdown: 1.0,
+            seed,
+        }
+    }
+}
+
+/// A deterministic description of every fault injected into one run:
+/// explicit events plus optional seeded random rates. The plan is pure
+/// data — engines *ask* it what happens to `(stage, task, attempt)` and
+/// get the same answer every time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Explicit injected events (checked before the random rates).
+    pub events: Vec<FaultEvent>,
+    /// Optional seeded random fault generation.
+    pub rates: Option<FaultRates>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan from an explicit event list.
+    pub fn from_events(events: Vec<FaultEvent>) -> Self {
+        FaultPlan { events, rates: None }
+    }
+
+    /// A plan from seeded random rates.
+    pub fn from_rates(rates: FaultRates) -> Self {
+        FaultPlan { events: Vec::new(), rates: Some(rates) }
+    }
+
+    /// Seed-driven crash injection only: every task attempt crashes with
+    /// probability `crash_prob`.
+    pub fn with_random_crashes(crash_prob: f64, seed: u64) -> Self {
+        FaultPlan::from_rates(FaultRates {
+            crash_prob,
+            ..FaultRates::none(seed)
+        })
+    }
+
+    /// Append a whole-server failure at `at_time` (builder style).
+    pub fn and_server_failure(mut self, server: ServerId, at_time: f64) -> Self {
+        self.events.push(FaultEvent::ServerFailure { server, at_time });
+        self
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+            && self
+                .rates
+                .is_none_or(|r| r.crash_prob <= 0.0 && r.straggler_prob <= 0.0)
+    }
+
+    /// Does attempt `attempt` of `(stage, task)` crash — and if so, after
+    /// what fraction of its runtime? Explicit events win over random
+    /// rates. The random stream keys on `(seed, stage, task, attempt)`,
+    /// so the decision is independent of execution order.
+    pub fn crash_point(&self, stage: StageId, task: u32, attempt: u32) -> Option<f64> {
+        for e in &self.events {
+            if let FaultEvent::TaskCrash {
+                stage: es,
+                task: et,
+                attempt: ea,
+                at_fraction,
+            } = e
+            {
+                if *es == stage && *et == task && *ea == attempt {
+                    return Some(at_fraction.clamp(1e-3, 0.999));
+                }
+            }
+        }
+        let r = self.rates?;
+        if r.crash_prob <= 0.0 {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(
+            r.seed
+                .wrapping_mul(0xa076_1d64_78bd_642f)
+                .wrapping_add(((stage.0 as u64) << 40) | ((task as u64) << 16) | attempt as u64),
+        );
+        if rng.gen_bool(r.crash_prob.clamp(0.0, 0.999)) {
+            Some(0.1 + 0.8 * rng.gen::<f64>())
+        } else {
+            None
+        }
+    }
+
+    /// The injected slowdown multiplier of `(stage, task)` (1.0 = none).
+    /// Explicit straggler events multiply; the random rate adds its
+    /// multiplier on top when its per-task roll hits.
+    pub fn slowdown(&self, stage: StageId, task: u32) -> f64 {
+        let mut m = 1.0;
+        for e in &self.events {
+            if let FaultEvent::Straggler {
+                stage: es,
+                task: et,
+                slowdown,
+            } = e
+            {
+                if *es == stage && *et == task {
+                    m *= slowdown.max(1.0);
+                }
+            }
+        }
+        if let Some(r) = self.rates {
+            if r.straggler_prob > 0.0 {
+                let mut rng = StdRng::seed_from_u64(
+                    r.seed
+                        .wrapping_mul(0x517c_c1b7_2722_0a95)
+                        .wrapping_add(((stage.0 as u64) << 24) | task as u64),
+                );
+                if rng.gen_bool(r.straggler_prob.clamp(0.0, 1.0)) {
+                    m *= r.straggler_slowdown.max(1.0);
+                }
+            }
+        }
+        m
+    }
+
+    /// The first (earliest) whole-server failure, if any. Only one server
+    /// failure is applied per run; later ones are ignored.
+    pub fn first_server_failure(&self) -> Option<(ServerId, f64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::ServerFailure { server, at_time } => Some((*server, *at_time)),
+                _ => None,
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recovery policy
+// ---------------------------------------------------------------------
+
+/// How the system reacts to injected faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Maximum re-executions per task before the run fails with
+    /// [`ExecError::RetriesExhausted`].
+    pub max_retries: u32,
+    /// Base backoff before re-executing a crashed attempt, seconds; the
+    /// wait doubles per attempt (exponential backoff).
+    pub backoff_base: f64,
+    /// Enable speculative re-execution of stragglers.
+    pub speculation: bool,
+    /// A task is a speculation candidate once its duration exceeds this
+    /// quantile of its stage's task durations…
+    pub speculation_quantile: f64,
+    /// …multiplied by this factor (> 1 avoids speculating the median).
+    pub speculation_factor: f64,
+    /// On whole-server failure, shrink the resource snapshot and re-run
+    /// the joint optimizer for the not-yet-started suffix of the DAG
+    /// (requires a [`ReschedulingContext`]).
+    pub reschedule_on_server_failure: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 4,
+            backoff_base: 0.05,
+            speculation: true,
+            speculation_quantile: 0.75,
+            speculation_factor: 1.5,
+            reschedule_on_server_failure: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// No recovery at all: unlimited plain retries, no backoff, no
+    /// speculation, no rescheduling. This is what the fault-free engines
+    /// run under — it reproduces pre-fault behavior exactly.
+    pub fn none() -> Self {
+        RecoveryPolicy {
+            max_retries: u32::MAX,
+            backoff_base: 0.0,
+            speculation: false,
+            speculation_quantile: 1.0,
+            speculation_factor: 1.0,
+            reschedule_on_server_failure: false,
+        }
+    }
+
+    /// Retry-only variant of the default policy (no speculation).
+    pub fn retry_only() -> Self {
+        RecoveryPolicy {
+            speculation: false,
+            ..Default::default()
+        }
+    }
+
+    /// Backoff before re-execution number `retry` (0-based), seconds.
+    pub fn backoff(&self, retry: u32) -> f64 {
+        self.backoff_base * f64::powi(2.0, retry.min(20) as i32)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Attempt-level accounting
+// ---------------------------------------------------------------------
+
+/// What happened to one task attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum AttemptOutcome {
+    /// The attempt finished and its output was used.
+    Completed,
+    /// The attempt crashed (injected task crash) before publishing.
+    Crashed,
+    /// The attempt died with its server.
+    ServerLost,
+    /// The attempt was killed because a sibling copy finished first
+    /// (speculation: either the slow original or the losing copy).
+    Superseded,
+}
+
+/// One task attempt: recorded for every execution that experienced a
+/// fault, plus the final successful attempt of any task that needed more
+/// than one. Fault-free tasks produce no records.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct AttemptRecord {
+    /// Stage index.
+    pub stage: u32,
+    /// Task index within the stage.
+    pub task: u32,
+    /// Attempt number (0 = first execution; speculation copies continue
+    /// the sequence).
+    pub attempt: u32,
+    /// Server the attempt ran on.
+    pub server: ServerId,
+    /// Attempt start, seconds since job submission.
+    pub start: f64,
+    /// When it finished or died, seconds since job submission.
+    pub end: f64,
+    /// Outcome.
+    pub outcome: AttemptOutcome,
+    /// Billed-but-discarded work: memory × runtime for non-completed
+    /// attempts, GB·s.
+    pub wasted_gb_s: f64,
+}
+
+/// Aggregated fault statistics of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
+pub struct FaultStats {
+    /// Attempts beyond one per task (crashed + killed + superseded).
+    pub extra_attempts: u32,
+    /// Total wasted work across failed attempts, GB·s.
+    pub wasted_gb_s: f64,
+    /// Machine-time overhead of recovery: runtime consumed by failed
+    /// attempts plus all backoff waits, seconds (an upper bound on the
+    /// serial JCT delay).
+    pub recovery_delay_s: f64,
+    /// Whole-server failures applied.
+    pub server_failures: u32,
+    /// Stages replanned by failure-aware rescheduling.
+    pub rescheduled_stages: u32,
+    /// Speculative copies launched.
+    pub speculative_copies: u32,
+}
+
+impl FaultStats {
+    /// Fold another run's stats into this one.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.extra_attempts += other.extra_attempts;
+        self.wasted_gb_s += other.wasted_gb_s;
+        self.recovery_delay_s += other.recovery_delay_s;
+        self.server_failures += other.server_failures;
+        self.rescheduled_stages += other.rescheduled_stages;
+        self.speculative_copies += other.speculative_copies;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Failure-aware rescheduling context
+// ---------------------------------------------------------------------
+
+/// What the simulator needs to replan after a server failure: the fitted
+/// time model and the pre-failure resource snapshot the original schedule
+/// was computed against.
+#[derive(Debug, Clone)]
+pub struct ReschedulingContext<'a> {
+    /// The job's fitted execution-time model.
+    pub model: &'a JobTimeModel,
+    /// Resource snapshot *before* the failure (the failed server is
+    /// removed internally).
+    pub resources: &'a ResourceManager,
+    /// Objective to re-optimize for.
+    pub objective: Objective,
+    /// Joint-optimizer options.
+    pub options: JointOptions,
+}
+
+// ---------------------------------------------------------------------
+// Fault-aware simulation
+// ---------------------------------------------------------------------
+
+/// Simulate `schedule` on `dag` under an injected [`FaultPlan`] and a
+/// [`RecoveryPolicy`]. With an empty plan and [`RecoveryPolicy::none`]
+/// this reproduces [`crate::sim::simulate`] exactly.
+///
+/// On a whole-server failure, attempts running on the failed server are
+/// killed and re-executed on a survivor; if
+/// [`RecoveryPolicy::reschedule_on_server_failure`] is set and a
+/// [`ReschedulingContext`] is supplied, stages that had not launched at
+/// the failure instant are replanned by [`joint_optimize`] against the
+/// shrunk resource snapshot (surviving work keeps its original schedule).
+pub fn try_simulate_with_faults(
+    dag: &JobDag,
+    schedule: &Schedule,
+    gt: &GroundTruth,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+    resched: Option<&ReschedulingContext<'_>>,
+) -> Result<(ExecutionTrace, JobMetrics), ExecError> {
+    schedule
+        .validate(dag)
+        .map_err(ExecError::InvalidSchedule)?;
+    let pass1 = sim_pass(dag, schedule, gt, plan, policy)?;
+    let Some((failed, at_time)) = plan.first_server_failure() else {
+        return Ok((pass1.trace, pass1.metrics));
+    };
+    let (Some(ctx), true) = (resched, policy.reschedule_on_server_failure) else {
+        return Ok((pass1.trace, pass1.metrics));
+    };
+    // The not-yet-started suffix: stages whose containers had not launched
+    // when the server died (per the pre-replan timeline).
+    let suffix: Vec<bool> = pass1.stage_launch.iter().map(|&l| l >= at_time).collect();
+    let n_suffix = suffix.iter().filter(|&&b| b).count() as u32;
+    if n_suffix == 0 {
+        return Ok((pass1.trace, pass1.metrics));
+    }
+    let mut rm = ctx.resources.clone();
+    rm.fail_server(failed.index());
+    let needed = dag.num_stages() as u32;
+    if rm.total_free() < needed {
+        return Err(ExecError::InsufficientCapacity {
+            needed,
+            available: rm.total_free(),
+        });
+    }
+    let replanned = joint_optimize(dag, ctx.model, &rm, ctx.objective, &ctx.options);
+    let hybrid = hybrid_schedule(dag, schedule, &replanned, &suffix);
+    let mut pass2 = sim_pass(dag, &hybrid, gt, plan, policy)?;
+    pass2.metrics.faults.rescheduled_stages = n_suffix;
+    Ok((pass2.trace, pass2.metrics))
+}
+
+/// Splice a replanned schedule into the original: suffix stages take the
+/// replanned DoP and placement; edges crossing the prefix/suffix boundary
+/// are conservatively treated as external (not co-located).
+fn hybrid_schedule(dag: &JobDag, orig: &Schedule, replanned: &Schedule, suffix: &[bool]) -> Schedule {
+    let n = dag.num_stages();
+    let mut dop = orig.dop.clone();
+    let mut placement = orig.placement.clone();
+    for i in 0..n {
+        if suffix[i] {
+            dop[i] = replanned.dop[i];
+            placement[i] = replanned.placement[i].clone();
+        }
+    }
+    let colocated = dag
+        .edges()
+        .iter()
+        .map(|e| {
+            match (suffix[e.src.index()], suffix[e.dst.index()]) {
+                (true, true) => replanned.colocated[e.id.index()],
+                (false, false) => orig.colocated[e.id.index()],
+                _ => false,
+            }
+        })
+        .collect();
+    Schedule {
+        scheduler: format!("{}+replan", orig.scheduler),
+        dop,
+        groups: (0..n).map(|i| vec![StageId(i as u32)]).collect(),
+        group_of: (0..n).collect(),
+        colocated,
+        placement,
+    }
+}
+
+struct SimPass {
+    trace: ExecutionTrace,
+    metrics: JobMetrics,
+    /// Per-stage container launch time (JIT launch of the first attempts).
+    stage_launch: Vec<f64>,
+}
+
+/// Final timeline of one task after its attempt history.
+struct TaskOutcome {
+    server: ServerId,
+    first_launch: f64,
+    launch: f64,
+    read_start: f64,
+    compute_start: f64,
+    write_start: f64,
+    end: f64,
+    attempts: u32,
+    /// Attempt index of the execution that produced the surviving output.
+    final_attempt: u32,
+    records: Vec<AttemptRecord>,
+}
+
+/// One full simulation sweep under a fixed schedule (no replanning).
+fn sim_pass(
+    dag: &JobDag,
+    schedule: &Schedule,
+    gt: &GroundTruth,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+) -> Result<SimPass, ExecError> {
+    let order = dag.topo_order().map_err(|_| ExecError::CyclicDag)?;
+    let n = dag.num_stages();
+    let failure = plan.first_server_failure();
+    let restart_server = failure.map(|(failed, _)| pick_survivor(schedule, failed));
+
+    let mut stage_end = vec![0.0_f64; n];
+    let mut stage_write_start = vec![0.0_f64; n];
+    let mut stage_read_end = vec![0.0_f64; n];
+    let mut stage_launch = vec![0.0_f64; n];
+
+    let mut trace = ExecutionTrace::default();
+    let mut stats = FaultStats {
+        server_failures: if failure.is_some() { 1 } else { 0 },
+        ..Default::default()
+    };
+
+    for &s in &order {
+        // Non-pipelined edges gate on the producer's write completion;
+        // pipelined edges (§4.5) let the consumer start streaming at the
+        // producer's write *start*, but it cannot finish reading before
+        // the producer finishes emitting.
+        let mut ready = 0.0_f64;
+        let mut read_gate = 0.0_f64;
+        for e in dag.in_edges(s) {
+            if e.pipelined {
+                ready = ready.max(stage_write_start[e.src.index()]);
+                read_gate = read_gate.max(stage_end[e.src.index()]);
+            } else {
+                ready = ready.max(stage_end[e.src.index()]);
+            }
+        }
+        let steps = gt.stage_tasks(dag, schedule, s);
+        let d = schedule.dop[s.index()];
+        let mem = gt.task_memory_gb(dag, s, d);
+        let placement = &schedule.placement[s.index()];
+
+        let mut outcomes: Vec<TaskOutcome> = Vec::with_capacity(steps.len());
+        for (t, st) in steps.iter().enumerate() {
+            let t = t as u32;
+            let slow = plan.slowdown(s, t);
+            let (read, compute, write) = (st.read * slow, st.compute * slow, st.write * slow);
+            let mut server = placement.server_of_task(t);
+            let mut records = Vec::new();
+            let mut attempt = 0u32;
+            // JIT launch: setup overlaps the wait for inputs.
+            let first_launch = (ready - st.setup).max(0.0);
+            let mut launch = first_launch;
+            let outcome = loop {
+                // An attempt launching after its server already died is
+                // placed on a survivor by the platform.
+                if let (Some((failed, at)), Some(alt)) = (failure, restart_server) {
+                    if server == failed && launch >= at {
+                        server = alt;
+                    }
+                }
+                let read_start = (launch + st.setup).max(ready);
+                let compute_start = (read_start + read).max(read_gate);
+                let write_start = compute_start + compute;
+                let end = write_start + write;
+
+                let crash = plan
+                    .crash_point(s, t, attempt)
+                    .map(|f| (launch + f * (end - launch), AttemptOutcome::Crashed));
+                let killed = match failure {
+                    Some((failed, at)) if server == failed && launch <= at && at < end => {
+                        Some((at, AttemptOutcome::ServerLost))
+                    }
+                    _ => None,
+                };
+                let death = match (crash, killed) {
+                    (Some(c), Some(k)) => Some(if c.0 <= k.0 { c } else { k }),
+                    (c, k) => c.or(k),
+                };
+                match death {
+                    None => {
+                        break TaskOutcome {
+                            server,
+                            first_launch,
+                            launch,
+                            read_start,
+                            compute_start,
+                            write_start,
+                            end,
+                            attempts: attempt + 1,
+                            final_attempt: attempt,
+                            records,
+                        }
+                    }
+                    Some((when, why)) => {
+                        let wasted = mem * (when - launch).max(0.0);
+                        records.push(AttemptRecord {
+                            stage: s.0,
+                            task: t,
+                            attempt,
+                            server,
+                            start: launch,
+                            end: when,
+                            outcome: why,
+                            wasted_gb_s: wasted,
+                        });
+                        stats.extra_attempts += 1;
+                        stats.wasted_gb_s += wasted;
+                        stats.recovery_delay_s += (when - launch).max(0.0);
+                        if why == AttemptOutcome::ServerLost {
+                            if let Some(alt) = restart_server {
+                                server = alt;
+                            }
+                        }
+                        if attempt >= policy.max_retries {
+                            return Err(ExecError::RetriesExhausted {
+                                stage: s.0,
+                                task: t,
+                                attempts: attempt + 1,
+                            });
+                        }
+                        let wait = policy.backoff(attempt);
+                        stats.recovery_delay_s += wait;
+                        attempt += 1;
+                        launch = when + wait;
+                    }
+                }
+            };
+            outcomes.push(outcome);
+        }
+
+        // Speculative re-execution: tasks running past a quantile of the
+        // stage's durations get a clean copy (no injected slowdown) at
+        // the threshold; whichever finishes first wins, the loser is
+        // killed and its work accounted as wasted.
+        if policy.speculation && outcomes.len() >= 2 {
+            let mut durs: Vec<f64> = outcomes
+                .iter()
+                .map(|o| o.end - o.first_launch)
+                .collect();
+            durs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let idx = (((durs.len() - 1) as f64) * policy.speculation_quantile.clamp(0.0, 1.0))
+                .round() as usize;
+            let threshold = durs[idx] * policy.speculation_factor.max(1.0);
+            for (t, o) in outcomes.iter_mut().enumerate() {
+                let dur = o.end - o.first_launch;
+                if dur <= threshold + 1e-12 || threshold <= 0.0 {
+                    continue;
+                }
+                let st = &steps[t];
+                let spec_launch = o.first_launch + threshold;
+                let rs = (spec_launch + st.setup).max(ready);
+                let cs = (rs + st.read).max(read_gate);
+                let ws = cs + st.compute;
+                let se = ws + st.write;
+                stats.speculative_copies += 1;
+                let spec_attempt = o.attempts; // next index in the sequence
+                if se < o.end {
+                    // The copy wins; the original is killed at the copy's
+                    // finish (or cancelled outright if it had not launched
+                    // yet) and whatever it ran is wasted.
+                    let killed_at = se.max(o.launch);
+                    let wasted = mem * (killed_at - o.launch);
+                    o.records.push(AttemptRecord {
+                        stage: s.0,
+                        task: t as u32,
+                        attempt: o.attempts - 1,
+                        server: o.server,
+                        start: o.launch,
+                        end: killed_at,
+                        outcome: AttemptOutcome::Superseded,
+                        wasted_gb_s: wasted,
+                    });
+                    stats.extra_attempts += 1;
+                    stats.wasted_gb_s += wasted;
+                    stats.recovery_delay_s += killed_at - o.launch;
+                    o.launch = spec_launch;
+                    o.read_start = rs;
+                    o.compute_start = cs;
+                    o.write_start = ws;
+                    o.end = se;
+                    o.attempts += 1;
+                    o.final_attempt = spec_attempt;
+                } else {
+                    // The copy loses and is killed when the original ends.
+                    let wasted = mem * (o.end - spec_launch).max(0.0);
+                    o.records.push(AttemptRecord {
+                        stage: s.0,
+                        task: t as u32,
+                        attempt: spec_attempt,
+                        server: o.server,
+                        start: spec_launch,
+                        end: o.end,
+                        outcome: AttemptOutcome::Superseded,
+                        wasted_gb_s: wasted,
+                    });
+                    stats.extra_attempts += 1;
+                    stats.wasted_gb_s += wasted;
+                    stats.recovery_delay_s += (o.end - spec_launch).max(0.0);
+                    o.attempts += 1;
+                }
+            }
+        }
+
+        let mut end = ready;
+        let mut wstart = f64::MAX;
+        let mut rend: f64 = 0.0;
+        stage_launch[s.index()] = outcomes
+            .iter()
+            .map(|o| o.first_launch)
+            .fold(f64::MAX, f64::min)
+            .min(ready);
+        for (t, mut o) in outcomes.into_iter().enumerate() {
+            end = end.max(o.end);
+            wstart = wstart.min(o.write_start);
+            rend = rend.max(o.compute_start);
+            trace.tasks.push(TaskTrace {
+                stage: s.0,
+                task: t as u32,
+                server: o.server,
+                launch: o.launch,
+                read_start: o.read_start,
+                compute_start: o.compute_start,
+                write_start: o.write_start,
+                end: o.end,
+                memory_gb: mem,
+            });
+            if !o.records.is_empty() {
+                // Close the sequence with the winning attempt.
+                o.records.push(AttemptRecord {
+                    stage: s.0,
+                    task: t as u32,
+                    attempt: o.final_attempt,
+                    server: o.server,
+                    start: o.launch,
+                    end: o.end,
+                    outcome: AttemptOutcome::Completed,
+                    wasted_gb_s: 0.0,
+                });
+                trace.attempts.append(&mut o.records);
+            }
+        }
+        stage_end[s.index()] = end;
+        stage_write_start[s.index()] = if wstart.is_finite() { wstart } else { end };
+        stage_read_end[s.index()] = rend;
+    }
+
+    // Storage persistence cost: every edge's volume is resident in its
+    // medium from the producer's first write until the consumer's last
+    // read completes.
+    let mut storage_cost = 0.0;
+    for e in dag.edges() {
+        let medium = gt.edge_medium(schedule, e.id.index());
+        let resident_from = stage_write_start[e.src.index()];
+        let resident_to = stage_read_end[e.dst.index()].max(resident_from);
+        storage_cost +=
+            CostModel::for_medium(medium).persistence_cost(e.bytes, resident_to - resident_from);
+    }
+
+    let metrics = JobMetrics {
+        jct: trace.jct(),
+        compute_cost: trace.compute_cost() + stats.wasted_gb_s,
+        storage_cost,
+        faults: stats,
+    };
+    Ok(SimPass {
+        trace,
+        metrics,
+        stage_launch,
+    })
+}
+
+/// Deterministic restart target after a server failure: the lowest
+/// server id used anywhere in the schedule that is not the failed one
+/// (the failed server itself when it is the only one — it "rebooted").
+fn pick_survivor(schedule: &Schedule, failed: ServerId) -> ServerId {
+    let mut best: Option<ServerId> = None;
+    for (stage, p) in schedule.placement.iter().enumerate() {
+        for t in 0..schedule.dop[stage] {
+            let srv = p.server_of_task(t);
+            if srv != failed && best.is_none_or(|b| srv < b) {
+                best = Some(srv);
+            }
+        }
+    }
+    best.unwrap_or(failed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groundtruth::ExecConfig;
+    use crate::sim::simulate;
+    use ditto_core::baselines::EvenSplitScheduler;
+    use ditto_core::{DittoScheduler, Scheduler, SchedulingContext};
+    use ditto_timemodel::model::RateConfig;
+
+    fn fixture(free: &[u32]) -> (JobDag, JobTimeModel, ResourceManager, Schedule, GroundTruth) {
+        let dag = ditto_dag::generators::q95_shape();
+        let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+        let rm = ResourceManager::from_free_slots(free.to_vec());
+        let schedule = DittoScheduler::new().schedule(&SchedulingContext {
+            dag: &dag,
+            model: &model,
+            resources: &rm,
+            objective: Objective::Jct,
+        });
+        (dag, model, rm, schedule, GroundTruth::new(ExecConfig::default()))
+    }
+
+    #[test]
+    fn empty_plan_matches_plain_simulate() {
+        let (dag, _, _, schedule, gt) = fixture(&[96; 8]);
+        let (plain_trace, plain_m) = simulate(&dag, &schedule, &gt);
+        let (t, m) = try_simulate_with_faults(
+            &dag,
+            &schedule,
+            &gt,
+            &FaultPlan::none(),
+            &RecoveryPolicy::none(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(plain_m, m);
+        assert_eq!(plain_trace.tasks, t.tasks);
+        assert!(t.attempts.is_empty(), "no faults, no attempt records");
+    }
+
+    #[test]
+    fn crash_delays_and_records_attempts() {
+        let (dag, _, _, schedule, gt) = fixture(&[96; 8]);
+        let (_, base) = simulate(&dag, &schedule, &gt);
+        let plan = FaultPlan::from_events(vec![FaultEvent::TaskCrash {
+            stage: StageId(0),
+            task: 0,
+            attempt: 0,
+            at_fraction: 0.5,
+        }]);
+        let (t, m) = try_simulate_with_faults(
+            &dag,
+            &schedule,
+            &gt,
+            &plan,
+            &RecoveryPolicy::retry_only(),
+            None,
+        )
+        .unwrap();
+        assert!(m.jct >= base.jct, "a crash cannot speed the job up");
+        assert_eq!(m.faults.extra_attempts, 1);
+        assert!(m.faults.wasted_gb_s > 0.0);
+        assert!(m.faults.recovery_delay_s > 0.0);
+        // Crashed attempt + the completing one.
+        assert_eq!(t.attempts.len(), 2);
+        assert_eq!(t.attempts[0].outcome, AttemptOutcome::Crashed);
+        assert_eq!(t.attempts[1].outcome, AttemptOutcome::Completed);
+    }
+
+    #[test]
+    fn retries_exhaust_into_typed_error() {
+        let (dag, _, _, schedule, gt) = fixture(&[96; 8]);
+        let events = (0..3)
+            .map(|a| FaultEvent::TaskCrash {
+                stage: StageId(0),
+                task: 0,
+                attempt: a,
+                at_fraction: 0.5,
+            })
+            .collect();
+        let policy = RecoveryPolicy {
+            max_retries: 2,
+            ..RecoveryPolicy::retry_only()
+        };
+        let err = try_simulate_with_faults(
+            &dag,
+            &schedule,
+            &gt,
+            &FaultPlan::from_events(events),
+            &policy,
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::RetriesExhausted {
+                stage: 0,
+                task: 0,
+                attempts: 3
+            }
+        );
+    }
+
+    #[test]
+    fn speculation_caps_injected_stragglers() {
+        let (dag, _, _, schedule, gt) = fixture(&[96; 8]);
+        let plan = FaultPlan::from_events(vec![FaultEvent::Straggler {
+            stage: StageId(0),
+            task: 0,
+            slowdown: 20.0,
+        }]);
+        let (_, without) = try_simulate_with_faults(
+            &dag,
+            &schedule,
+            &gt,
+            &plan,
+            &RecoveryPolicy::retry_only(),
+            None,
+        )
+        .unwrap();
+        let (t, with) = try_simulate_with_faults(
+            &dag,
+            &schedule,
+            &gt,
+            &plan,
+            &RecoveryPolicy::default(),
+            None,
+        )
+        .unwrap();
+        assert!(
+            with.jct < without.jct,
+            "speculation must beat a 20x straggler: {} vs {}",
+            with.jct,
+            without.jct
+        );
+        assert!(with.faults.speculative_copies >= 1);
+        assert!(t
+            .attempts
+            .iter()
+            .any(|a| a.outcome == AttemptOutcome::Superseded && a.wasted_gb_s > 0.0));
+    }
+
+    #[test]
+    fn server_failure_reschedules_suffix_and_completes() {
+        let (dag, model, rm, schedule, gt) = fixture(&[48; 4]);
+        let (_, base) = simulate(&dag, &schedule, &gt);
+        let failed = ServerId(0);
+        let at_time = base.jct * 0.3;
+        let plan = FaultPlan::none().and_server_failure(failed, at_time);
+        let ctx = ReschedulingContext {
+            model: &model,
+            resources: &rm,
+            objective: Objective::Jct,
+            options: JointOptions::default(),
+        };
+        let (trace, m) = try_simulate_with_faults(
+            &dag,
+            &schedule,
+            &gt,
+            &plan,
+            &RecoveryPolicy::default(),
+            Some(&ctx),
+        )
+        .unwrap();
+        assert_eq!(m.faults.server_failures, 1);
+        assert!(
+            m.faults.rescheduled_stages > 0,
+            "a mid-job failure must replan the suffix"
+        );
+        assert!(m.jct >= base.jct, "failure cannot speed the job up");
+        // Everything placed after the failure avoids the dead server.
+        for t in trace.tasks.iter().filter(|t| t.launch >= at_time) {
+            assert_ne!(t.server, failed, "stage {} task {}", t.stage, t.task);
+        }
+        // The job still finishes: every stage has tasks in the trace.
+        for s in 0..dag.num_stages() as u32 {
+            assert!(trace.tasks.iter().any(|t| t.stage == s));
+        }
+    }
+
+    #[test]
+    fn server_failure_without_context_still_completes() {
+        let (dag, _, _, schedule, gt) = fixture(&[48; 4]);
+        let (_, base) = simulate(&dag, &schedule, &gt);
+        let plan = FaultPlan::none().and_server_failure(ServerId(0), base.jct * 0.3);
+        let (trace, m) = try_simulate_with_faults(
+            &dag,
+            &schedule,
+            &gt,
+            &plan,
+            &RecoveryPolicy::default(),
+            None,
+        )
+        .unwrap();
+        assert!(m.jct >= base.jct);
+        assert_eq!(m.faults.rescheduled_stages, 0, "no context, no replan");
+        for s in 0..dag.num_stages() as u32 {
+            assert!(trace.tasks.iter().any(|t| t.stage == s));
+        }
+    }
+
+    #[test]
+    fn random_rates_are_deterministic_per_seed() {
+        let (dag, _, _, schedule, gt) = fixture(&[96; 8]);
+        let run = |seed| {
+            let plan = FaultPlan::from_rates(FaultRates {
+                crash_prob: 0.2,
+                straggler_prob: 0.1,
+                straggler_slowdown: 3.0,
+                seed,
+            });
+            let policy = RecoveryPolicy {
+                max_retries: 16,
+                ..Default::default()
+            };
+            try_simulate_with_faults(&dag, &schedule, &gt, &plan, &policy, None).unwrap()
+        };
+        let (ta, ma) = run(9);
+        let (tb, mb) = run(9);
+        assert_eq!(ma, mb);
+        assert_eq!(ta.attempts, tb.attempts);
+        let (_, mc) = run(10);
+        assert_ne!(ma, mc, "different seed, different fault history");
+    }
+
+    #[test]
+    fn jct_nondecreasing_in_crash_count() {
+        let dag = ditto_dag::generators::fig1_join();
+        let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+        let rm = ResourceManager::from_free_slots(vec![16, 16]);
+        let schedule = EvenSplitScheduler.schedule(&SchedulingContext {
+            dag: &dag,
+            model: &model,
+            resources: &rm,
+            objective: Objective::Jct,
+        });
+        let gt = GroundTruth::new(ExecConfig::default());
+        let pool: Vec<(StageId, u32)> = (0..3)
+            .flat_map(|s| (0..2).map(move |t| (StageId(s), t)))
+            .collect();
+        let mut last = 0.0;
+        for k in 0..=pool.len() {
+            let events = pool[..k]
+                .iter()
+                .map(|&(stage, task)| FaultEvent::TaskCrash {
+                    stage,
+                    task,
+                    attempt: 0,
+                    at_fraction: 0.6,
+                })
+                .collect();
+            let (_, m) = try_simulate_with_faults(
+                &dag,
+                &schedule,
+                &gt,
+                &FaultPlan::from_events(events),
+                &RecoveryPolicy::retry_only(),
+                None,
+            )
+            .unwrap();
+            assert!(
+                m.jct >= last - 1e-9,
+                "jct dropped from {last} to {} at {k} crashes",
+                m.jct
+            );
+            last = m.jct;
+        }
+    }
+}

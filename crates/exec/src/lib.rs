@@ -21,10 +21,18 @@
 //!   scheduling machinery drives a working analytics system, and to
 //!   cross-check distributed results against single-threaded references.
 //!
+//! Both engines consume the same fault vocabulary ([`faults`]): a
+//! deterministic seed-driven [`FaultPlan`] (task crashes, stragglers,
+//! whole-server failures) plus a [`RecoveryPolicy`] (bounded retry with
+//! backoff, speculative re-execution, failure-aware rescheduling through
+//! the joint optimizer). Typed failures are [`error::ExecError`].
+//!
 //! [`profile`] generates recurring-job profiles by "running" stages at a
 //! few DoPs in the simulator — the input to `ditto-timemodel`'s fitting
 //! (Table 2) and the accuracy experiment (Fig. 11).
 
+pub mod error;
+pub mod faults;
 pub mod groundtruth;
 pub mod metrics;
 pub mod multi;
@@ -33,9 +41,14 @@ pub mod runner;
 pub mod sim;
 pub mod trace;
 
+pub use error::ExecError;
+pub use faults::{
+    try_simulate_with_faults, AttemptOutcome, AttemptRecord, FaultEvent, FaultPlan, FaultRates,
+    FaultStats, RecoveryPolicy, ReschedulingContext,
+};
 pub use groundtruth::{ExecConfig, GroundTruth};
 pub use metrics::JobMetrics;
 pub use profile::profile_job;
 pub use runner::LocalRuntime;
-pub use sim::simulate;
+pub use sim::{simulate, try_simulate};
 pub use trace::{ExecutionTrace, StageBreakdown, TaskTrace};

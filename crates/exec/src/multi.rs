@@ -234,6 +234,7 @@ mod tests {
                     jct: 10.0,
                     compute_cost: 5.0,
                     storage_cost: 1.0,
+                    faults: Default::default(),
                 },
             },
             JobOutcome {
@@ -245,6 +246,7 @@ mod tests {
                     jct: 8.0,
                     compute_cost: 4.0,
                     storage_cost: 0.0,
+                    faults: Default::default(),
                 },
             },
         ];

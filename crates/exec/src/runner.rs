@@ -19,6 +19,8 @@
 //!   so schemas always propagate;
 //! * **AllGather** — every consumer task receives a full copy.
 
+use crate::error::ExecError;
+use crate::faults::{AttemptOutcome, AttemptRecord, FaultPlan, FaultStats, RecoveryPolicy};
 use ditto_cluster::{RuntimeMonitor, TaskRecord};
 use ditto_core::Schedule;
 use ditto_dag::{EdgeKind, StageId};
@@ -26,7 +28,7 @@ use ditto_sql::{Database, QueryPlan, StageOp, Table};
 use ditto_storage::{DataPlane, TransferLedger};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Result of a local run.
@@ -42,29 +44,33 @@ pub struct RunOutput {
     pub monitor: Arc<RuntimeMonitor>,
     /// Task attempts that crashed and were retried (fault injection).
     pub retries: u64,
-}
-
-/// Fault injection: serverless functions fail and are re-executed. An
-/// injected crash happens after the task's evaluation but *before it
-/// publishes any output*, so the retry is idempotent and downstream
-/// consumers only ever see one copy — the all-or-nothing output contract
-/// real serverless shuffle layers rely on.
-#[derive(Debug, Clone, Copy)]
-pub struct FaultConfig {
-    /// Probability a task attempt crashes (retried until it succeeds; the
-    /// probability applies independently per attempt).
-    pub task_failure_prob: f64,
-    /// Determinism seed.
-    pub seed: u64,
+    /// Attempt-level history of every faulted task (failed attempts plus
+    /// their final completed one); empty for fault-free runs.
+    pub attempts: Vec<AttemptRecord>,
+    /// Aggregated fault and recovery accounting.
+    pub fault_stats: FaultStats,
 }
 
 /// The multi-threaded local executor.
+///
+/// Fault injection follows the shared [`FaultPlan`] vocabulary. An
+/// injected crash happens after the task's evaluation but *before it
+/// publishes any output*, so the retry is idempotent and downstream
+/// consumers only ever see one copy — the all-or-nothing output contract
+/// real serverless shuffle layers rely on. Injected stragglers slow a
+/// task down; with [`RecoveryPolicy::speculation`] enabled the runtime
+/// launches a clean backup copy whose output supersedes the straggler.
+/// Whole-server failures are a simulation-only concern (threads on one
+/// machine don't lose servers) and are ignored here.
 #[derive(Debug, Clone, Default)]
 pub struct LocalRuntime {
     /// Receive timeout per partition (generous default: 30 s).
     pub recv_timeout: Option<Duration>,
-    /// Optional crash-and-retry fault injection.
-    pub faults: Option<FaultConfig>,
+    /// Fault injection plan (empty = no faults).
+    pub faults: FaultPlan,
+    /// Reaction to injected faults. Backoff waits are capped at 5 ms of
+    /// wall time so fault tests stay fast.
+    pub recovery: RecoveryPolicy,
 }
 
 impl LocalRuntime {
@@ -81,8 +87,8 @@ impl LocalRuntime {
     /// `dataplane`.
     ///
     /// # Panics
-    /// Panics if the schedule does not validate against the plan's DAG or
-    /// a shuffle stage lacks an `output_key`.
+    /// Panics on any [`ExecError`] — thin wrapper over [`Self::try_run`]
+    /// for callers that treat these conditions as bugs.
     pub fn execute(
         &self,
         plan: &QueryPlan,
@@ -90,15 +96,31 @@ impl LocalRuntime {
         schedule: &Schedule,
         dataplane: &DataPlane,
     ) -> RunOutput {
+        self.try_run(plan, db, schedule, dataplane)
+            .unwrap_or_else(|err| panic!("{}: {err}", plan.name))
+    }
+
+    /// Fallible execution: every failure mode — invalid schedule, missing
+    /// input, exhausted retries, worker panic — surfaces as a typed
+    /// [`ExecError`] instead of a panic.
+    pub fn try_run(
+        &self,
+        plan: &QueryPlan,
+        db: &Database,
+        schedule: &Schedule,
+        dataplane: &DataPlane,
+    ) -> Result<RunOutput, ExecError> {
         let dag = &plan.dag;
-        schedule.validate(dag).expect("schedule matches plan DAG");
+        schedule.validate(dag).map_err(ExecError::InvalidSchedule)?;
         let monitor = Arc::new(RuntimeMonitor::new());
         let retries = AtomicU64::new(0);
+        let attempts: Mutex<Vec<AttemptRecord>> = Mutex::new(Vec::new());
+        let stats: Mutex<FaultStats> = Mutex::new(FaultStats::default());
         let started = Instant::now();
         let mut final_partials: Vec<Table> = Vec::new();
         let timeout = self.timeout();
 
-        let order = dag.topo_order().expect("valid DAG");
+        let order = dag.topo_order().map_err(|_| ExecError::CyclicDag)?;
         for s in order {
             let d = schedule.dop[s.index()];
             let is_final = dag.out_degree(s) == 0;
@@ -108,40 +130,58 @@ impl LocalRuntime {
             };
 
             let retries_ref = &retries;
-            let partials: Vec<Table> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..d)
-                    .map(|t| {
-                        let scan_slice = scan_slices.as_ref().map(|v| v[t as usize].clone());
-                        let monitor = monitor.clone();
-                        scope.spawn(move || {
-                            self.run_task(
-                                plan, db, schedule, dataplane, s, t, scan_slice, is_final,
-                                timeout, started, &monitor, retries_ref,
-                            )
+            let attempts_ref = &attempts;
+            let stats_ref = &stats;
+            let results: Vec<Result<Option<Table>, ExecError>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..d)
+                        .map(|t| {
+                            let scan_slice = scan_slices.as_ref().map(|v| v[t as usize].clone());
+                            let monitor = monitor.clone();
+                            scope.spawn(move || {
+                                self.run_task(
+                                    plan, db, schedule, dataplane, s, t, scan_slice, is_final,
+                                    timeout, started, &monitor, retries_ref, attempts_ref,
+                                    stats_ref,
+                                )
+                            })
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .filter_map(|h| h.join().expect("task thread panicked"))
-                    .collect()
-            });
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join()
+                                .unwrap_or(Err(ExecError::TaskPanicked { stage: s.0 }))
+                        })
+                        .collect()
+                });
+            let mut partials = Vec::new();
+            for r in results {
+                if let Some(table) = r? {
+                    partials.push(table);
+                }
+            }
             if is_final {
                 final_partials = partials;
             }
         }
 
-        RunOutput {
+        let mut attempts = attempts.into_inner().unwrap_or_else(|p| p.into_inner());
+        attempts.sort_by_key(|a| (a.stage, a.task, a.attempt));
+        Ok(RunOutput {
             result: plan.combine_final(&final_partials),
             wall_seconds: started.elapsed().as_secs_f64(),
             ledger: dataplane.ledger(),
             monitor,
             retries: retries.load(Ordering::Relaxed),
-        }
+            attempts,
+            fault_stats: stats.into_inner().unwrap_or_else(|p| p.into_inner()),
+        })
     }
 
-    /// One task: gather inputs, evaluate the stage operator, scatter
-    /// outputs. Returns the output table for final-stage tasks.
+    /// One task: gather inputs, evaluate the stage operator (under fault
+    /// injection and recovery), scatter outputs. Returns the output table
+    /// for final-stage tasks.
     #[allow(clippy::too_many_arguments)]
     fn run_task(
         &self,
@@ -157,10 +197,19 @@ impl LocalRuntime {
         job_start: Instant,
         monitor: &RuntimeMonitor,
         retries: &AtomicU64,
-    ) -> Option<Table> {
+        attempts_log: &Mutex<Vec<AttemptRecord>>,
+        stats: &Mutex<FaultStats>,
+    ) -> Result<Option<Table>, ExecError> {
         let dag = &plan.dag;
         let launch = job_start.elapsed().as_secs_f64();
         let my_server = schedule.placement[s.index()].server_of_task(t).index();
+        let server = ditto_cluster::ServerId(my_server as u32);
+        let push_attempt = |rec: AttemptRecord| {
+            attempts_log
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(rec);
+        };
 
         // ---- gather inputs ----
         let read_t0 = Instant::now();
@@ -173,33 +222,110 @@ impl LocalRuntime {
                 let src_server = schedule.placement[e.src.index()].server_of_task(ut).index();
                 let data = dataplane
                     .recv_partition(e.id.0, ut, t, src_server, my_server, timeout)
-                    .unwrap_or_else(|err| {
-                        panic!("{}: stage {s} task {t} missing input on {}: {err}", plan.name, e.id)
-                    });
+                    .map_err(|err| ExecError::MissingInput {
+                        stage: s.0,
+                        task: t,
+                        detail: format!("{}: edge {}: {err}", plan.name, e.id),
+                    })?;
                 bytes_read += data.len() as u64;
                 parts.push(Table::decode(data));
             }
-            let merged = Table::concat(&parts).expect("at least one upstream task");
+            let merged = Table::concat(&parts).ok_or_else(|| ExecError::MissingInput {
+                stage: s.0,
+                task: t,
+                detail: format!("{}: edge {} has no upstream tasks", plan.name, e.id),
+            })?;
             inputs.insert(dag.stage(e.src).name.clone(), merged);
         }
         let read_secs = read_t0.elapsed().as_secs_f64();
 
-        // ---- evaluate (with crash-and-retry fault injection) ----
+        // Nominal function footprint for wasted-work billing, mirroring
+        // the ground-truth memory model (base footprint + bytes handled).
+        let mem_gb = 0.125 + bytes_read as f64 * 2.0e-9;
+
+        // ---- evaluate (crash-and-retry fault injection) ----
         let compute_t0 = Instant::now();
         let mut attempt = 0u32;
-        let out = loop {
+        let mut attempt_start;
+        let mut faulted = false;
+        let mut out = loop {
+            attempt_start = job_start.elapsed().as_secs_f64();
             let attempt_out = plan.execute_stage(s, db, &inputs, scan_slice.as_ref());
-            match &self.faults {
-                Some(cfg) if crash_roll(cfg, s, t, attempt) => {
-                    // The attempt crashed before publishing: discard its
-                    // output and re-execute.
-                    attempt += 1;
-                    retries.fetch_add(1, Ordering::Relaxed);
-                    drop(attempt_out);
+            if self.faults.crash_point(s, t, attempt).is_some() {
+                // The attempt crashed before publishing: discard its
+                // output, back off, re-execute.
+                drop(attempt_out);
+                let now = job_start.elapsed().as_secs_f64();
+                let wasted = mem_gb * (now - attempt_start);
+                push_attempt(AttemptRecord {
+                    stage: s.0,
+                    task: t,
+                    attempt,
+                    server,
+                    start: attempt_start,
+                    end: now,
+                    outcome: AttemptOutcome::Crashed,
+                    wasted_gb_s: wasted,
+                });
+                retries.fetch_add(1, Ordering::Relaxed);
+                if attempt >= self.recovery.max_retries {
+                    return Err(ExecError::RetriesExhausted {
+                        stage: s.0,
+                        task: t,
+                        attempts: attempt + 1,
+                    });
                 }
-                _ => break attempt_out,
+                // Cap the physical wait so fault tests stay fast; the
+                // modeled backoff lives in the simulator.
+                let backoff = self.recovery.backoff(attempt).min(0.005);
+                {
+                    let mut st = stats.lock().unwrap_or_else(|p| p.into_inner());
+                    st.extra_attempts += 1;
+                    st.wasted_gb_s += wasted;
+                    st.recovery_delay_s += (now - attempt_start) + backoff;
+                }
+                std::thread::sleep(Duration::from_secs_f64(backoff));
+                attempt += 1;
+                faulted = true;
+                continue;
             }
+            break attempt_out;
         };
+
+        // ---- injected straggler + speculative re-execution ----
+        let slow = self.faults.slowdown(s, t);
+        if slow > 1.0 {
+            // Stall the attempt observably (bounded wall time).
+            std::thread::sleep(Duration::from_secs_f64(((slow - 1.0) * 1e-3).min(0.01)));
+            if self.recovery.speculation {
+                // A clean backup copy supersedes the stalled original —
+                // identical output (evaluation is deterministic), so the
+                // handoff is transparent to downstream consumers.
+                let now = job_start.elapsed().as_secs_f64();
+                let wasted = mem_gb * (now - attempt_start);
+                push_attempt(AttemptRecord {
+                    stage: s.0,
+                    task: t,
+                    attempt,
+                    server,
+                    start: attempt_start,
+                    end: now,
+                    outcome: AttemptOutcome::Superseded,
+                    wasted_gb_s: wasted,
+                });
+                {
+                    let mut st = stats.lock().unwrap_or_else(|p| p.into_inner());
+                    st.extra_attempts += 1;
+                    st.wasted_gb_s += wasted;
+                    st.recovery_delay_s += now - attempt_start;
+                    st.speculative_copies += 1;
+                }
+                attempt += 1;
+                attempt_start = job_start.elapsed().as_secs_f64();
+                out = plan.execute_stage(s, db, &inputs, scan_slice.as_ref());
+                faulted = true;
+            }
+        }
         let compute_secs = compute_t0.elapsed().as_secs_f64();
 
         // ---- scatter outputs ----
@@ -212,9 +338,7 @@ impl LocalRuntime {
                     let key = plan.stages[s.index()]
                         .output_key
                         .as_deref()
-                        .unwrap_or_else(|| {
-                            panic!("{}: stage {s} shuffles without output_key", plan.name)
-                        });
+                        .ok_or(ExecError::MissingOutputKey { stage: s.0 })?;
                     out.hash_partition(key, dv as usize)
                 }
                 EdgeKind::Gather => {
@@ -241,38 +365,42 @@ impl LocalRuntime {
                 bytes_written += data.len() as u64;
                 dataplane
                     .send_partition(e.id.0, t, vt as u32, my_server, dst_server, data)
-                    .expect("data plane accepts intermediate partition");
+                    .map_err(|err| {
+                        ExecError::DataPlane(format!("{}: stage {s} task {t}: {err}", plan.name))
+                    })?;
             }
         }
         let write_secs = write_t0.elapsed().as_secs_f64();
 
+        let end = job_start.elapsed().as_secs_f64();
         monitor.record(TaskRecord {
             stage: s.0,
             task: t,
-            server: ditto_cluster::ServerId(my_server as u32),
+            server,
             start: launch,
-            end: job_start.elapsed().as_secs_f64(),
+            end,
             read_secs,
             compute_secs,
             write_secs,
             bytes_read,
             bytes_written,
         });
+        if faulted {
+            // Close the attempt sequence with the winning execution.
+            push_attempt(AttemptRecord {
+                stage: s.0,
+                task: t,
+                attempt,
+                server,
+                start: attempt_start,
+                end,
+                outcome: AttemptOutcome::Completed,
+                wasted_gb_s: 0.0,
+            });
+        }
 
-        is_final.then_some(out)
+        Ok(is_final.then_some(out))
     }
-}
-
-/// Deterministic crash decision for (stage, task, attempt).
-fn crash_roll(cfg: &FaultConfig, s: StageId, t: u32, attempt: u32) -> bool {
-    use rand::Rng as _;
-    use rand::SeedableRng as _;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(
-        cfg.seed
-            .wrapping_mul(0xa076_1d64_78bd_642f)
-            .wrapping_add(((s.0 as u64) << 40) | ((t as u64) << 16) | attempt as u64),
-    );
-    rng.gen_bool(cfg.task_failure_prob.clamp(0.0, 0.999))
 }
 
 #[cfg(test)]
@@ -400,14 +528,24 @@ mod tests {
         });
         let dataplane = DataPlane::new(Medium::S3, free.len());
         let runtime = LocalRuntime {
-            faults: Some(FaultConfig {
-                task_failure_prob: 0.3,
-                seed: 11,
-            }),
+            faults: FaultPlan::with_random_crashes(0.3, 3),
+            recovery: RecoveryPolicy {
+                max_retries: 8,
+                ..RecoveryPolicy::retry_only()
+            },
             ..Default::default()
         };
         let out = runtime.execute(&plan, &db, &schedule, &dataplane);
         assert!(out.retries > 0, "30% failure rate must trigger retries");
+        // Attempt records mirror the retry counter and bill wasted work.
+        let crashed = out
+            .attempts
+            .iter()
+            .filter(|a| a.outcome == AttemptOutcome::Crashed)
+            .count() as u64;
+        assert_eq!(crashed, out.retries);
+        assert!(out.fault_stats.wasted_gb_s > 0.0);
+        assert_eq!(out.fault_stats.extra_attempts as u64, out.retries);
         // The answer is unaffected by crashes.
         let (n, c, p) = q95::reference(&db);
         let (gn, gc, gp) = q95::result_triple(&out.result);
@@ -432,16 +570,116 @@ mod tests {
         let run = |seed: u64| {
             let dataplane = DataPlane::new(Medium::S3, free.len());
             LocalRuntime {
-                faults: Some(FaultConfig {
-                    task_failure_prob: 0.5,
-                    seed,
-                }),
+                faults: FaultPlan::with_random_crashes(0.5, seed),
+                recovery: RecoveryPolicy {
+                    max_retries: 32,
+                    ..RecoveryPolicy::retry_only()
+                },
                 ..Default::default()
             }
             .execute(&plan, &db, &schedule, &dataplane)
             .retries
         };
         assert_eq!(run(3), run(3), "same seed, same crash pattern");
+    }
+
+    #[test]
+    fn explicit_faults_leave_answer_byte_identical() {
+        use crate::faults::FaultEvent;
+        let db = Database::generate(ScaleConfig::with_sf(0.2));
+        let plan = Query::Q1.prepared_plan(&db);
+        let model = JobTimeModel::from_rates(&plan.dag, &RateConfig::default());
+        let free = vec![8u32, 8];
+        let rm = ResourceManager::from_free_slots(free.clone());
+        let schedule = EvenSplitScheduler.schedule(&SchedulingContext {
+            dag: &plan.dag,
+            model: &model,
+            resources: &rm,
+            objective: Objective::Jct,
+        });
+        let clean = LocalRuntime::new()
+            .try_run(&plan, &db, &schedule, &DataPlane::new(Medium::S3, free.len()))
+            .unwrap();
+        assert!(clean.attempts.is_empty(), "fault-free run records no attempts");
+        // One crash + one straggler, recovered under the default policy.
+        let out = LocalRuntime {
+            faults: FaultPlan::from_events(vec![
+                FaultEvent::TaskCrash {
+                    stage: StageId(0),
+                    task: 0,
+                    attempt: 0,
+                    at_fraction: 0.5,
+                },
+                FaultEvent::Straggler {
+                    stage: StageId(1),
+                    task: 0,
+                    slowdown: 5.0,
+                },
+            ]),
+            recovery: RecoveryPolicy::default(),
+            ..Default::default()
+        }
+        .try_run(&plan, &db, &schedule, &DataPlane::new(Medium::S3, free.len()))
+        .unwrap();
+        assert_eq!(
+            out.result.encode(),
+            clean.result.encode(),
+            "recovered run must produce the exact same final table"
+        );
+        let extra = out
+            .attempts
+            .iter()
+            .filter(|a| a.outcome != AttemptOutcome::Completed)
+            .count();
+        assert!(extra >= 2, "crash + superseded straggler, got {extra}");
+        assert!(out.attempts.iter().any(|a| a.outcome == AttemptOutcome::Crashed));
+        assert!(out
+            .attempts
+            .iter()
+            .any(|a| a.outcome == AttemptOutcome::Superseded));
+        assert!(out.fault_stats.wasted_gb_s > 0.0, "wasted work is billed");
+        assert_eq!(out.fault_stats.speculative_copies, 1);
+    }
+
+    #[test]
+    fn retries_exhausted_is_a_typed_error() {
+        use crate::faults::FaultEvent;
+        let db = Database::generate(ScaleConfig::with_sf(0.1));
+        let plan = Query::Q1.prepared_plan(&db);
+        let model = JobTimeModel::from_rates(&plan.dag, &RateConfig::default());
+        let rm = ResourceManager::from_free_slots(vec![8]);
+        let schedule = EvenSplitScheduler.schedule(&SchedulingContext {
+            dag: &plan.dag,
+            model: &model,
+            resources: &rm,
+            objective: Objective::Jct,
+        });
+        let events = (0..3)
+            .map(|a| FaultEvent::TaskCrash {
+                stage: StageId(0),
+                task: 0,
+                attempt: a,
+                at_fraction: 0.5,
+            })
+            .collect();
+        let err = LocalRuntime {
+            faults: FaultPlan::from_events(events),
+            recovery: RecoveryPolicy {
+                max_retries: 2,
+                ..RecoveryPolicy::retry_only()
+            },
+            ..Default::default()
+        }
+        .try_run(&plan, &db, &schedule, &DataPlane::new(Medium::S3, 1))
+        .unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::ExecError::RetriesExhausted {
+                stage: 0,
+                task: 0,
+                attempts: 3
+            }
+        );
     }
 
     #[test]

@@ -9,12 +9,13 @@
 //! upstream tail and idle waiting is avoided — which is exactly what makes
 //! late launching cost-neutral.
 
+use crate::error::ExecError;
+use crate::faults::{try_simulate_with_faults, FaultPlan, RecoveryPolicy};
 use crate::groundtruth::GroundTruth;
 use crate::metrics::JobMetrics;
-use crate::trace::{ExecutionTrace, TaskTrace};
+use crate::trace::ExecutionTrace;
 use ditto_core::Schedule;
 use ditto_dag::JobDag;
-use ditto_storage::CostModel;
 
 /// Simulate `schedule` on `dag` under the ground truth. Returns the full
 /// trace plus job metrics.
@@ -36,88 +37,28 @@ use ditto_storage::CostModel;
 /// assert_eq!(metrics.jct, trace.jct());
 /// ```
 pub fn simulate(dag: &JobDag, schedule: &Schedule, gt: &GroundTruth) -> (ExecutionTrace, JobMetrics) {
-    schedule
-        .validate(dag)
-        .expect("schedule must be valid for its DAG");
-    let order = dag.topo_order().expect("valid DAG");
-    let n = dag.num_stages();
+    try_simulate(dag, schedule, gt).expect("schedule must be valid for its DAG")
+}
 
-    // Per-stage completion of the write step (when downstream may read).
-    let mut stage_end = vec![0.0_f64; n];
-    // Per-stage earliest write start / latest read end (persistence cost).
-    let mut stage_write_start = vec![0.0_f64; n];
-    let mut stage_read_end = vec![0.0_f64; n];
-
-    let mut trace = ExecutionTrace::default();
-
-    for &s in &order {
-        // Non-pipelined edges gate on the producer's write completion;
-        // pipelined edges (§4.5) let the consumer start streaming at the
-        // producer's write *start*, but it cannot finish reading before the
-        // producer finishes emitting.
-        let mut ready = 0.0_f64;
-        let mut read_gate = 0.0_f64;
-        for e in dag.in_edges(s) {
-            if e.pipelined {
-                ready = ready.max(stage_write_start[e.src.index()]);
-                read_gate = read_gate.max(stage_end[e.src.index()]);
-            } else {
-                ready = ready.max(stage_end[e.src.index()]);
-            }
-        }
-        let steps = gt.stage_tasks(dag, schedule, s);
-        let d = schedule.dop[s.index()];
-        let mem = gt.task_memory_gb(dag, s, d);
-        let placement = &schedule.placement[s.index()];
-
-        let mut end = ready;
-        let mut wstart = f64::MAX;
-        let mut rend: f64 = 0.0;
-        for (t, st) in steps.iter().enumerate() {
-            // JIT launch: setup overlaps the wait for inputs.
-            let launch = (ready - st.setup).max(0.0);
-            let read_start = (launch + st.setup).max(ready);
-            let compute_start = (read_start + st.read).max(read_gate);
-            let write_start = compute_start + st.compute;
-            let task_end = write_start + st.write;
-            end = end.max(task_end);
-            wstart = wstart.min(write_start);
-            rend = rend.max(compute_start);
-            trace.tasks.push(TaskTrace {
-                stage: s.0,
-                task: t as u32,
-                server: placement.server_of_task(t as u32),
-                launch,
-                read_start,
-                compute_start,
-                write_start,
-                end: task_end,
-                memory_gb: mem,
-            });
-        }
-        stage_end[s.index()] = end;
-        stage_write_start[s.index()] = if wstart.is_finite() { wstart } else { end };
-        stage_read_end[s.index()] = rend;
-    }
-
-    // Storage persistence cost: every edge's volume is resident in its
-    // medium from the producer's first write until the consumer's last
-    // read completes.
-    let mut storage_cost = 0.0;
-    for e in dag.edges() {
-        let medium = gt.edge_medium(schedule, e.id.index());
-        let resident_from = stage_write_start[e.src.index()];
-        let resident_to = stage_read_end[e.dst.index()].max(resident_from);
-        storage_cost +=
-            CostModel::for_medium(medium).persistence_cost(e.bytes, resident_to - resident_from);
-    }
-
-    let metrics = JobMetrics {
-        jct: trace.jct(),
-        compute_cost: trace.compute_cost(),
-        storage_cost,
-    };
-    (trace, metrics)
+/// Fallible variant of [`simulate`]: returns [`ExecError`] instead of
+/// panicking on an invalid schedule or cyclic DAG.
+///
+/// Both are thin wrappers over the fault-aware engine
+/// ([`try_simulate_with_faults`]) with an empty [`FaultPlan`] — the
+/// fault-free path reproduces the historical simulator bit-for-bit.
+pub fn try_simulate(
+    dag: &JobDag,
+    schedule: &Schedule,
+    gt: &GroundTruth,
+) -> Result<(ExecutionTrace, JobMetrics), ExecError> {
+    try_simulate_with_faults(
+        dag,
+        schedule,
+        gt,
+        &FaultPlan::none(),
+        &RecoveryPolicy::none(),
+        None,
+    )
 }
 
 #[cfg(test)]

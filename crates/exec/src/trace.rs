@@ -4,6 +4,7 @@
 //! regenerate the paper's Fig. 14 (per-stage step breakdown) and Fig. 15
 //! (stage-and-task Gantt view of fixed vs elastic parallelism).
 
+use crate::faults::{AttemptOutcome, AttemptRecord};
 use ditto_cluster::ServerId;
 
 /// One task's timeline (all times are seconds since job submission).
@@ -70,11 +71,29 @@ pub struct StageBreakdown {
 /// A complete execution trace.
 #[derive(Debug, Clone, Default)]
 pub struct ExecutionTrace {
-    /// All task timelines, ordered by (stage, task).
+    /// All task timelines, ordered by (stage, task). For tasks that were
+    /// retried or speculated, this is the *winning* attempt's timeline.
     pub tasks: Vec<TaskTrace>,
+    /// Attempt-level history for every task that experienced a fault or
+    /// speculation (empty for fault-free runs): each failed / superseded
+    /// attempt plus the final completed one.
+    pub attempts: Vec<AttemptRecord>,
 }
 
 impl ExecutionTrace {
+    /// Attempts beyond one per task (crashed, server-lost or superseded).
+    pub fn extra_attempts(&self) -> usize {
+        self.attempts
+            .iter()
+            .filter(|a| a.outcome != AttemptOutcome::Completed)
+            .count()
+    }
+
+    /// Total billed-but-discarded work across failed attempts, GB·s.
+    pub fn wasted_gb_s(&self) -> f64 {
+        self.attempts.iter().map(|a| a.wasted_gb_s).sum()
+    }
+
     /// Job completion time: the latest task end.
     pub fn jct(&self) -> f64 {
         self.tasks.iter().map(|t| t.end).fold(0.0, f64::max)
@@ -273,6 +292,7 @@ mod tests {
     #[test]
     fn jct_is_latest_end() {
         let tr = ExecutionTrace {
+            attempts: vec![],
             tasks: vec![
                 task(0, 0, 0.0, (0.1, 1.0, 1.0, 0.5)),
                 task(1, 0, 3.0, (0.1, 1.0, 2.0, 0.5)),
@@ -285,6 +305,7 @@ mod tests {
     #[test]
     fn breakdown_averages_tasks() {
         let tr = ExecutionTrace {
+            attempts: vec![],
             tasks: vec![
                 task(0, 0, 0.0, (0.2, 1.0, 2.0, 1.0)),
                 task(0, 1, 0.0, (0.2, 3.0, 4.0, 1.0)),
@@ -300,6 +321,7 @@ mod tests {
     #[test]
     fn compute_cost_sums_gb_seconds() {
         let tr = ExecutionTrace {
+            attempts: vec![],
             tasks: vec![task(0, 0, 0.0, (0.0, 1.0, 1.0, 0.0))],
         };
         assert!((tr.compute_cost() - 4.0).abs() < 1e-12); // 2 GB × 2 s
@@ -308,6 +330,7 @@ mod tests {
     #[test]
     fn utilization_counts_busy_slots() {
         let tr = ExecutionTrace {
+            attempts: vec![],
             tasks: vec![
                 task(0, 0, 0.0, (0.0, 1.0, 1.0, 0.0)), // busy 0..2
                 task(0, 1, 0.0, (0.0, 1.0, 1.0, 0.0)), // busy 0..2
@@ -329,6 +352,7 @@ mod tests {
     #[test]
     fn chrome_trace_is_valid_json_with_events() {
         let tr = ExecutionTrace {
+            attempts: vec![],
             tasks: vec![
                 task(0, 0, 0.0, (0.1, 1.0, 1.0, 0.5)),
                 task(1, 0, 2.6, (0.1, 1.0, 1.0, 0.5)),
@@ -341,6 +365,7 @@ mod tests {
         assert!(events.iter().all(|e| e["ph"] == "X"));
         // Zero-duration steps are dropped.
         let tr2 = ExecutionTrace {
+            attempts: vec![],
             tasks: vec![task(0, 0, 0.0, (0.0, 1.0, 1.0, 0.0))],
         };
         let v2: serde_json::Value = serde_json::from_str(&tr2.to_chrome_trace()).unwrap();
@@ -350,6 +375,7 @@ mod tests {
     #[test]
     fn gantt_renders_rows() {
         let tr = ExecutionTrace {
+            attempts: vec![],
             tasks: vec![
                 task(0, 0, 0.0, (0.1, 1.0, 1.0, 0.5)),
                 task(1, 0, 2.6, (0.1, 1.0, 1.0, 0.5)),

@@ -1,0 +1,170 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Keeps the macro/builder surface the workspace benches use
+//! (`criterion_group!`, `criterion_main!`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`) and times a small
+//! fixed number of iterations per benchmark, printing mean wall-clock time.
+//! No statistics, warm-up, or HTML reports — enough to keep `cargo bench`
+//! and `cargo test --benches` compiling and producing useful numbers.
+
+use std::time::Instant;
+
+/// Iterations per benchmark. Kept small so `cargo test` (which compiles
+/// and runs bench targets in test mode) stays fast.
+const ITERS: u32 = 3;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into() }
+    }
+}
+
+/// A named benchmark identifier, optionally parameterized.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { text: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { text: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { total_nanos: 0, iters: 0 };
+        for _ in 0..ITERS {
+            f(&mut b);
+        }
+        report(&self.name, &id.text, &b);
+        self
+    }
+
+    /// Run a benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { total_nanos: 0, iters: 0 };
+        for _ in 0..ITERS {
+            f(&mut b, input);
+        }
+        report(&self.name, &id.text, &b);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, b: &Bencher) {
+    if b.iters > 0 {
+        let mean = b.total_nanos as f64 / b.iters as f64;
+        println!("bench {group}/{id}: {:.3} ms/iter ({} iters)", mean / 1e6, b.iters);
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    total_nanos: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time one execution of `f` (criterion runs many; the shim runs one
+    /// per outer repetition).
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.total_nanos += start.elapsed().as_nanos();
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point invoking one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u32;
+        group.bench_function("f", |b| b.iter(|| runs += 1));
+        let input = 5u32;
+        let mut with_input_runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("p", 5), &input, |b, &i| {
+            b.iter(|| with_input_runs += i)
+        });
+        group.finish();
+        assert_eq!(runs, super::ITERS);
+        assert_eq!(with_input_runs, 5 * super::ITERS);
+    }
+}

@@ -1,0 +1,108 @@
+//! Minimal offline stand-in for `rand_distr`: the `Zipf` distribution used
+//! by the TPC-DS-like data generator, over the shim `rand` crate.
+
+use rand::RngCore;
+
+/// A distribution sampling values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter error for distribution constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`: P(k) ∝ k^{-s}.
+///
+/// Sampling inverts the precomputed CDF by binary search — O(log n) per
+/// draw, exact for any `s ≥ 0` (upstream uses rejection sampling; for the
+/// table sizes the data generator draws from, the table walk is simpler and
+/// deterministic).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// New Zipf over `1..=n` with exponent `s`.
+    pub fn new(n: u64, s: f64) -> Result<Zipf, Error> {
+        if n == 0 {
+            return Err(Error("Zipf requires n >= 1"));
+        }
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(Error("Zipf requires finite s >= 0"));
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for w in &mut cdf {
+            *w /= total;
+        }
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        // First rank whose cumulative mass reaches u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{SeedableRng, StdRng};
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(10, 1.0).is_ok());
+    }
+
+    #[test]
+    fn samples_in_range_and_skewed() {
+        let z = Zipf::new(100, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ones = 0usize;
+        for _ in 0..10_000 {
+            let v = z.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&v));
+            assert_eq!(v.fract(), 0.0);
+            if v == 1.0 {
+                ones += 1;
+            }
+        }
+        // Rank 1 carries the largest mass under any positive skew.
+        assert!(ones > 1_000, "rank-1 mass too small: {ones}");
+    }
+
+    #[test]
+    fn zero_skew_is_uniformish() {
+        let z = Zipf::new(4, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng) as usize - 1] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "{counts:?}");
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the shim `serde::Serialize` / `serde::Deserialize` traits
+//! (which lower values to the concrete `serde::Content` data model) by
+//! hand-parsing the item's token stream — no `syn`/`quote`, since this
+//! build runs with no network access.
+//!
+//! Supported shapes, matching what the workspace derives:
+//! - named-field structs, honoring `#[serde(default)]` and
+//!   `#[serde(default = "path")]`, with `Option` fields treated as
+//!   optional (missing key → `None`);
+//! - newtype structs (serialize as the inner value);
+//! - unit-variant enums (serialize as the variant name string);
+//! - lifetime-generic structs (e.g. `Event<'a>`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How a missing field is filled during deserialization.
+enum FieldDefault {
+    /// No `#[serde(default)]`: missing behaves as `Content::Null`.
+    Required,
+    /// `#[serde(default)]` → `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]` → `path()`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Newtype,
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    /// Generic parameter text, e.g. `'a` — empty when non-generic.
+    generics: String,
+    shape: Shape,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let header = impl_header("Serialize", &item);
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_content(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Newtype => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Content::Str(::std::string::String::from(\"{v}\"))",
+                        name = item.name
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    let code = format!(
+        "{header} {{ fn to_content(&self) -> ::serde::Content {{ {body} }} }}"
+    );
+    code.parse().expect("derived Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let header = impl_header("Deserialize", &item);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let missing = match &f.default {
+                        FieldDefault::Std => "::core::default::Default::default()".to_string(),
+                        FieldDefault::Path(p) => format!("{p}()"),
+                        FieldDefault::Required => format!(
+                            "::serde::Deserialize::from_content(&::serde::Content::Null)\
+                             .map_err(|_| format!(\"missing field `{n}` in {name}\"))?",
+                            n = f.name
+                        ),
+                    };
+                    format!(
+                        "{n}: match c.get(\"{n}\") {{ \
+                           Some(v) => ::serde::Deserialize::from_content(v)\
+                             .map_err(|e| format!(\"field `{n}`: {{e}}\"))?, \
+                           None => {missing}, \
+                         }}",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "match c {{ ::serde::Content::Map(_) => {{}}, \
+                   other => return Err(format!(\"expected map for {name}, got {{}}\", other.kind())), \
+                 }} \
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Newtype => format!(
+            "Ok({name}(::serde::Deserialize::from_content(c)\
+               .map_err(|e| format!(\"in {name}: {{e}}\"))?))"
+        ),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match c {{ \
+                   ::serde::Content::Str(s) => match s.as_str() {{ \
+                     {}, \
+                     other => Err(format!(\"unknown variant `{{other}}` for {name}\")), \
+                   }}, \
+                   other => Err(format!(\"expected string for enum {name}, got {{}}\", other.kind())), \
+                 }}",
+                arms.join(", ")
+            )
+        }
+    };
+    let code = format!(
+        "{header} {{ fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::std::string::String> {{ {body} }} }}"
+    );
+    code.parse().expect("derived Deserialize impl must parse")
+}
+
+fn impl_header(trait_name: &str, item: &Item) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", item.name)
+    } else {
+        format!(
+            "impl<{g}> ::serde::{trait_name} for {}<{g}>",
+            item.name,
+            g = item.generics
+        )
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = tokens[i].to_string();
+    i += 1;
+
+    // Capture generic parameters, e.g. `<'a>`.
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1i32;
+            let mut inner: Vec<TokenTree> = Vec::new();
+            while depth > 0 {
+                match &tokens[i] {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                inner.push(tokens[i].clone());
+                i += 1;
+            }
+            generics = inner
+                .into_iter()
+                .collect::<TokenStream>()
+                .to_string();
+        }
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                if n != 1 {
+                    panic!("serde shim derive supports only 1-field tuple structs, {name} has {n}");
+                }
+                Shape::Newtype
+            }
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::UnitEnum(parse_unit_variants(g.stream(), &name))
+            }
+            other => panic!("unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    };
+
+    Item { name, generics, shape }
+}
+
+/// Extract a `#[serde(...)]` default spec from an attribute group's tokens.
+fn serde_default(attr: &proc_macro::Group) -> Option<FieldDefault> {
+    let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match toks.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return None,
+    };
+    let inner: Vec<TokenTree> = inner.into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        _ => return None,
+    }
+    match inner.get(2) {
+        Some(TokenTree::Literal(lit)) => {
+            let s = lit.to_string();
+            Some(FieldDefault::Path(s.trim_matches('"').to_string()))
+        }
+        None => Some(FieldDefault::Std),
+        _ => None,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut j = 0;
+    while j < toks.len() {
+        let mut default = FieldDefault::Required;
+        // Field attributes (docs, serde).
+        while matches!(&toks[j], TokenTree::Punct(p) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = toks.get(j + 1) {
+                if let Some(d) = serde_default(g) {
+                    default = d;
+                }
+            }
+            j += 2;
+        }
+        // Visibility.
+        if matches!(&toks[j], TokenTree::Ident(id) if id.to_string() == "pub") {
+            j += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(j) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    j += 1;
+                }
+            }
+        }
+        let name = match &toks[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, got {other}"),
+        };
+        j += 1; // name
+        j += 1; // ':'
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        while j < toks.len() {
+            match &toks[j] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut n = 1usize;
+    let mut depth = 0i32;
+    let mut saw_any = false;
+    for t in stream {
+        saw_any = true;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => n += 1,
+            _ => {}
+        }
+    }
+    if saw_any {
+        n
+    } else {
+        0
+    }
+}
+
+fn parse_unit_variants(stream: TokenStream, enum_name: &str) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut j = 0;
+    while j < toks.len() {
+        while matches!(&toks[j], TokenTree::Punct(p) if p.as_char() == '#') {
+            j += 2;
+        }
+        match &toks[j] {
+            TokenTree::Ident(id) => variants.push(id.to_string()),
+            other => panic!("expected variant name in {enum_name}, got {other}"),
+        }
+        j += 1;
+        if let Some(t) = toks.get(j) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' => j += 1,
+                _ => panic!(
+                    "serde shim derive supports only unit variants; {enum_name} has data-carrying variants"
+                ),
+            }
+        }
+    }
+    variants
+}

@@ -151,3 +151,121 @@ proptest! {
         prop_assert!(metrics.compute_cost > 0.0);
     }
 }
+
+// Fault-injection properties run the physical executor, so they use far
+// fewer cases than the pure-engine block above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any recoverable fault plan (a crash + a straggler, arbitrary
+    /// placement) leaves the local runner's final table byte-identical to
+    /// the fault-free run.
+    #[test]
+    fn recovered_run_is_byte_identical(
+        crash_stage in 0u32..4,
+        crash_task in 0u32..3,
+        slow_stage in 0u32..4,
+        slowdown in 2.0f64..8.0,
+    ) {
+        use ditto::core::baselines::EvenSplitScheduler;
+        use ditto::core::{Objective, Scheduler, SchedulingContext};
+        use ditto::exec::{FaultEvent, FaultPlan, LocalRuntime, RecoveryPolicy};
+        use ditto::sql::queries::Query;
+        use ditto::sql::{Database, ScaleConfig};
+        use ditto::storage::{DataPlane, Medium};
+        let db = Database::generate(ScaleConfig::with_sf(0.1));
+        let plan = Query::Q1.prepared_plan(&db);
+        let model = ditto::timemodel::JobTimeModel::from_rates(
+            &plan.dag,
+            &ditto::timemodel::model::RateConfig::default(),
+        );
+        let rm = ditto::cluster::ResourceManager::from_free_slots(vec![8, 8]);
+        let schedule = EvenSplitScheduler.schedule(&SchedulingContext {
+            dag: &plan.dag,
+            model: &model,
+            resources: &rm,
+            objective: Objective::Jct,
+        });
+        let clean = LocalRuntime::new()
+            .try_run(&plan, &db, &schedule, &DataPlane::new(Medium::S3, 2))
+            .unwrap();
+        // Fault targets wrap into the DAG; events naming a task index
+        // beyond a stage's DoP simply never fire, which must also be safe.
+        let stages = plan.dag.num_stages() as u32;
+        let faulty = LocalRuntime {
+            faults: FaultPlan::from_events(vec![
+                FaultEvent::TaskCrash {
+                    stage: ditto::dag::StageId(crash_stage % stages),
+                    task: crash_task,
+                    attempt: 0,
+                    at_fraction: 0.5,
+                },
+                FaultEvent::Straggler {
+                    stage: ditto::dag::StageId(slow_stage % stages),
+                    task: 0,
+                    slowdown,
+                },
+            ]),
+            recovery: RecoveryPolicy::default(),
+            ..Default::default()
+        }
+        .try_run(&plan, &db, &schedule, &DataPlane::new(Medium::S3, 2))
+        .unwrap();
+        prop_assert_eq!(faulty.result.encode(), clean.result.encode());
+    }
+
+    /// Simulated JCT is monotonically non-decreasing in the number of
+    /// injected task crashes (under plain bounded retry).
+    #[test]
+    fn sim_jct_monotone_in_fault_count(
+        fracs in proptest::collection::vec(0.05f64..0.95, 6),
+    ) {
+        use ditto::core::baselines::EvenSplitScheduler;
+        use ditto::core::{Objective, Scheduler, SchedulingContext};
+        use ditto::exec::{try_simulate_with_faults, FaultEvent, FaultPlan, RecoveryPolicy};
+        let dag = ditto::dag::generators::fig1_join();
+        let model = ditto::timemodel::JobTimeModel::from_rates(
+            &dag,
+            &ditto::timemodel::model::RateConfig::default(),
+        );
+        let rm = ditto::cluster::ResourceManager::from_free_slots(vec![16, 16]);
+        let schedule = EvenSplitScheduler.schedule(&SchedulingContext {
+            dag: &dag,
+            model: &model,
+            resources: &rm,
+            objective: Objective::Jct,
+        });
+        let gt = GroundTruth::new(ExecConfig::default());
+        let pool: Vec<FaultEvent> = fracs
+            .iter()
+            .enumerate()
+            .map(|(i, &at_fraction)| FaultEvent::TaskCrash {
+                stage: ditto::dag::StageId(i as u32 / 2),
+                task: i as u32 % 2,
+                attempt: 0,
+                at_fraction,
+            })
+            .collect();
+        let mut last = 0.0_f64;
+        for k in 0..=pool.len() {
+            let plan = FaultPlan::from_events(pool[..k].to_vec());
+            let (_, m) = try_simulate_with_faults(
+                &dag,
+                &schedule,
+                &gt,
+                &plan,
+                &RecoveryPolicy::retry_only(),
+                None,
+            )
+            .unwrap();
+            prop_assert!(
+                m.jct >= last - 1e-9,
+                "jct dropped from {} to {} at {} crashes",
+                last,
+                m.jct,
+                k
+            );
+            last = m.jct;
+        }
+    }
+}
