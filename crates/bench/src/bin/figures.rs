@@ -4,18 +4,35 @@
 //! cargo run --release -p ditto-bench --bin figures -- all
 //! cargo run --release -p ditto-bench --bin figures -- fig8a fig12 table1
 //! cargo run --release -p ditto-bench --bin figures -- --json fig8a
+//! cargo run --release -p ditto-bench --bin figures -- faults --trace-out trace.json
 //! ```
+//!
+//! `--trace-out <path>` additionally runs the fixed-seed traced fault
+//! experiment and writes its full telemetry stream as a Chrome
+//! trace_event file (load in <https://ui.perfetto.dev>), printing the
+//! critical-path JCT attribution alongside.
 
 use ditto_bench::{render_rows, write_json};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = match args.iter().position(|a| a == "--trace-out") {
+        Some(i) => {
+            args.remove(i);
+            if i >= args.len() {
+                eprintln!("--trace-out needs a path argument");
+                std::process::exit(2);
+            }
+            Some(args.remove(i))
+        }
+        None => None,
+    };
     let json = args.iter().any(|a| a == "--json");
     let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     let all = [
         "fig1", "fig2", "fig4", "fig5", "fig8a", "fig8b", "fig8c", "fig9a", "fig9b", "fig9c",
         "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table1", "table2", "ablations",
-        "multi", "deadline", "faults", "export",
+        "multi", "deadline", "faults", "telemetry", "export",
     ];
     let targets: Vec<&str> = if wanted.is_empty() || wanted.contains(&"all") {
         all.to_vec()
@@ -76,6 +93,7 @@ fn main() {
             "multi" => emit(&ditto_bench::multi_job(), json),
             "deadline" => emit(&ditto_bench::deadline_sweep(), json),
             "faults" => emit(&ditto_bench::fault_sweep(), json),
+            "telemetry" => emit(&ditto_bench::telemetry_overhead(), json),
             "export" => {
                 // Artifacts: the Ditto-scheduled Q95 DAG as Graphviz DOT
                 // (groups colored) and its simulated trace as a Chrome
@@ -103,6 +121,21 @@ fn main() {
             }
             other => eprintln!("unknown target {other:?}; known: {all:?}"),
         }
+    }
+
+    if let Some(path) = trace_out {
+        println!("==================== trace-out ====================");
+        let run = ditto_bench::traced_fault_run();
+        let chrome = ditto_obs::to_chrome_trace(&run.data);
+        std::fs::write(&path, &chrome).expect("write trace file");
+        println!(
+            "wrote {path} ({} bytes, {} spans, {} events) — load in https://ui.perfetto.dev",
+            chrome.len(),
+            run.data.spans.len(),
+            run.data.events.len(),
+        );
+        println!("{}", ditto_obs::summary_table(&run.data));
+        println!("{}", run.critical_path.render());
     }
 }
 

@@ -5,9 +5,13 @@
 //! profiles that the execution-time model is fitted from. Here a single
 //! [`RuntimeMonitor`] aggregates records for the whole (simulated) cluster;
 //! it is `Sync` so the multi-threaded local runtime in `ditto-exec` can
-//! report from worker threads.
+//! report from worker threads. It can also be fed from the unified
+//! telemetry stream: [`RuntimeMonitor::ingest`] replays the `task` spans
+//! of a recorded trace into records, making the monitor a consumer of
+//! the same event stream the exporters read.
 
 use crate::server::ServerId;
+use ditto_obs::{StepTimings, TraceData};
 use parking_lot::Mutex;
 
 /// One completed task execution.
@@ -23,12 +27,8 @@ pub struct TaskRecord {
     pub start: f64,
     /// Completion time, seconds since job start.
     pub end: f64,
-    /// Time spent in the read step, seconds.
-    pub read_secs: f64,
-    /// Time spent in the compute step, seconds.
-    pub compute_secs: f64,
-    /// Time spent in the write step, seconds.
-    pub write_secs: f64,
+    /// Per-step durations (setup/read/compute/write), seconds.
+    pub steps: StepTimings,
     /// Bytes read (external + intermediate).
     pub bytes_read: u64,
     /// Bytes written (external + intermediate).
@@ -55,8 +55,8 @@ pub struct StageStats {
     pub first_start: f64,
     /// Latest task end — the stage completion time.
     pub last_end: f64,
-    /// Mean per-step durations `(read, compute, write)`.
-    pub mean_steps: (f64, f64, f64),
+    /// Mean per-step durations.
+    pub mean_steps: StepTimings,
 }
 
 /// Thread-safe collector of [`TaskRecord`]s.
@@ -101,18 +101,55 @@ impl RuntimeMonitor {
             return None;
         }
         let n = rs.len() as f64;
+        let mut sum = StepTimings::zero();
+        for r in &rs {
+            sum.accumulate(&r.steps);
+        }
         Some(StageStats {
             tasks: rs.len() as u32,
             mean_duration: rs.iter().map(|r| r.duration()).sum::<f64>() / n,
             max_duration: rs.iter().map(|r| r.duration()).fold(f64::MIN, f64::max),
             first_start: rs.iter().map(|r| r.start).fold(f64::MAX, f64::min),
             last_end: rs.iter().map(|r| r.end).fold(f64::MIN, f64::max),
-            mean_steps: (
-                rs.iter().map(|r| r.read_secs).sum::<f64>() / n,
-                rs.iter().map(|r| r.compute_secs).sum::<f64>() / n,
-                rs.iter().map(|r| r.write_secs).sum::<f64>() / n,
-            ),
+            mean_steps: sum.scaled(1.0 / n),
         })
+    }
+
+    /// Replay the `task` spans of a recorded telemetry stream into
+    /// monitor records — the monitor as a consumer of the unified event
+    /// stream rather than a bespoke reporting channel. Returns the number
+    /// of records ingested. Spans missing the task attributes are
+    /// skipped.
+    pub fn ingest(&self, data: &TraceData) -> usize {
+        let mut n = 0;
+        for span in data.spans.iter().filter(|s| s.name == "task") {
+            let (Some(stage), Some(task)) = (span.attr_u64("stage"), span.attr_u64("task")) else {
+                continue;
+            };
+            if !span.end.is_finite() {
+                continue;
+            }
+            let read_start = span.attr_f64("read_start").unwrap_or(span.start);
+            let compute_start = span.attr_f64("compute_start").unwrap_or(read_start);
+            let write_start = span.attr_f64("write_start").unwrap_or(span.end);
+            self.record(TaskRecord {
+                stage: stage as u32,
+                task: task as u32,
+                server: ServerId(span.track.group.saturating_sub(ditto_obs::Track::SERVER_BASE)),
+                start: span.start,
+                end: span.end,
+                steps: StepTimings::new(
+                    read_start - span.start,
+                    compute_start - read_start,
+                    write_start - compute_start,
+                    span.end - write_start,
+                ),
+                bytes_read: span.attr_f64("bytes_read").unwrap_or(0.0) as u64,
+                bytes_written: span.attr_f64("bytes_written").unwrap_or(0.0) as u64,
+            });
+            n += 1;
+        }
+        n
     }
 
     /// Clear all records (between profiled runs).
@@ -132,9 +169,7 @@ mod tests {
             server: ServerId(0),
             start,
             end,
-            read_secs: 1.0,
-            compute_secs: 2.0,
-            write_secs: 0.5,
+            steps: StepTimings::new(0.0, 1.0, 2.0, 0.5),
             bytes_read: 100,
             bytes_written: 50,
         }
@@ -153,8 +188,41 @@ mod tests {
         assert!((s.max_duration - 5.5).abs() < 1e-12);
         assert_eq!(s.first_start, 0.0);
         assert_eq!(s.last_end, 6.0);
-        assert_eq!(s.mean_steps, (1.0, 2.0, 0.5));
+        assert_eq!(s.mean_steps, StepTimings::new(0.0, 1.0, 2.0, 0.5));
         assert!(m.stage_stats(9).is_none());
+    }
+
+    #[test]
+    fn ingests_task_spans_from_trace() {
+        use ditto_obs::{Recorder, Track};
+        let obs = Recorder::new();
+        obs.span(
+            "task",
+            Track::server(3, 42),
+            2.0,
+            5.5,
+            vec![
+                ("stage", 1u64.into()),
+                ("task", 2u64.into()),
+                ("read_start", 2.5.into()),
+                ("compute_start", 3.0.into()),
+                ("write_start", 5.0.into()),
+                ("bytes_read", 1024.0.into()),
+                ("bytes_written", 512.0.into()),
+            ],
+        );
+        // A span without task attributes is skipped, not an error.
+        obs.span("sched.round", Track::scheduler(0), 0.0, 0.1, vec![]);
+
+        let m = RuntimeMonitor::new();
+        assert_eq!(m.ingest(&obs.finish()), 1);
+        let r = &m.records()[0];
+        assert_eq!((r.stage, r.task), (1, 2));
+        assert_eq!(r.server, ServerId(3));
+        assert_eq!(r.steps, StepTimings::new(0.5, 0.5, 2.0, 0.5));
+        assert_eq!((r.bytes_read, r.bytes_written), (1024, 512));
+        let s = m.stage_stats(1).unwrap();
+        assert!((s.mean_duration - 3.5).abs() < 1e-12);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::placement::{can_place_with};
 use crate::schedule::Schedule;
 use ditto_cluster::ResourceManager;
 use ditto_dag::{EdgeId, JobDag};
+use ditto_obs::{Recorder, SpanId, Track};
 use ditto_timemodel::JobTimeModel;
 
 /// How the joint optimizer orders candidate edges each iteration
@@ -88,12 +89,53 @@ pub fn joint_optimize(
     objective: Objective,
     opts: &JointOptions,
 ) -> Schedule {
+    joint_optimize_traced(dag, model, rm, objective, opts, &Recorder::disabled())
+}
+
+/// [`joint_optimize`] with telemetry: every scheduler decision lands on
+/// the recorder's scheduler track (wall-clock timestamps). Emits a
+/// `sched.joint` span over the whole run, a `sched.dop_ratio` span for
+/// the initial parallelism configuration, one `sched.round` span per
+/// commit iteration, a `sched.merge` event per candidate edge (with the
+/// trial α/β of both endpoint stages and an accept/reject verdict), and
+/// a `sched.placement` span for the final placement check. A disabled
+/// recorder makes this identical to [`joint_optimize`].
+pub fn joint_optimize_traced(
+    dag: &JobDag,
+    model: &JobTimeModel,
+    rm: &ResourceManager,
+    objective: Objective,
+    opts: &JointOptions,
+    obs: &Recorder,
+) -> Schedule {
     let c = rm.total_free();
     let n = dag.num_stages();
 
+    obs.name_track(Track::SCHEDULER_GROUP, "scheduler");
+    let run_span = obs.begin(
+        "sched.joint",
+        Track::scheduler(0),
+        obs.wall_now(),
+        SpanId::NONE,
+        vec![
+            ("objective", objective.to_string().into()),
+            ("stages", (n as u64).into()),
+            ("edges", (dag.edges().len() as u64).into()),
+            ("free_slots", (c as u64).into()),
+        ],
+    );
+
     let mut groups = StageGroups::singletons(n);
     let mut colocated = groups.colocation_mask(dag);
+    let dop_span = obs.begin(
+        "sched.dop_ratio",
+        Track::scheduler(1),
+        obs.wall_now(),
+        run_span,
+        vec![],
+    );
     let mut assignment = compute_dop(dag, model, &colocated, objective, c.max(1));
+    obs.end(dop_span, obs.wall_now());
     assert!(
         can_place_with(dag, &assignment.dop, &groups, rm, opts.gather_decomposition, opts.fit_strategy).is_some(),
         "ungrouped baseline configuration must be placeable (C={c}, stages={n})"
@@ -103,6 +145,16 @@ pub fn joint_optimize(
     let mut iterations = 0usize;
     while !ungrouped.is_empty() && iterations < opts.max_iterations {
         iterations += 1;
+        let round_span = obs.begin(
+            "sched.round",
+            Track::scheduler(1),
+            obs.wall_now(),
+            run_span,
+            vec![
+                ("iteration", (iterations as u64).into()),
+                ("ungrouped", (ungrouped.len() as u64).into()),
+            ],
+        );
         // Re-derive the edge order under the current DoPs and mask, then
         // keep only still-ungrouped edges (ω of grouped edges is 0 anyway).
         let raw_order: Vec<EdgeId> = match opts.order_policy {
@@ -150,7 +202,7 @@ pub fn joint_optimize(
             trial_groups.union(edge.src, edge.dst);
             let trial_mask = trial_groups.colocation_mask(dag);
             let trial_assignment = compute_dop(dag, model, &trial_mask, objective, c.max(1));
-            if can_place_with(
+            let placeable = can_place_with(
                 dag,
                 &trial_assignment.dop,
                 &trial_groups,
@@ -158,8 +210,25 @@ pub fn joint_optimize(
                 opts.gather_decomposition,
                 opts.fit_strategy,
             )
-            .is_some()
-            {
+            .is_some();
+            if obs.is_enabled() {
+                obs.event(
+                    "sched.merge",
+                    Track::scheduler(1),
+                    obs.wall_now(),
+                    vec![
+                        ("edge", (e.index() as u64).into()),
+                        ("src", (edge.src.index() as u64).into()),
+                        ("dst", (edge.dst.index() as u64).into()),
+                        ("src_alpha", model.stage_alpha(dag, edge.src, &trial_mask).into()),
+                        ("src_beta", model.stage_beta(dag, edge.src, &trial_mask).into()),
+                        ("dst_alpha", model.stage_alpha(dag, edge.dst, &trial_mask).into()),
+                        ("dst_beta", model.stage_beta(dag, edge.dst, &trial_mask).into()),
+                        ("verdict", if placeable { "accept" } else { "reject" }.into()),
+                    ],
+                );
+            }
+            if placeable {
                 groups = trial_groups;
                 colocated = trial_mask;
                 assignment = trial_assignment;
@@ -168,12 +237,31 @@ pub fn joint_optimize(
             }
             // else: undo (nothing was mutated) and try the next edge.
         }
+        obs.end(round_span, obs.wall_now());
         match committed {
-            Some(e) => ungrouped.retain(|&x| x != e),
+            Some(e) => {
+                ungrouped.retain(|&x| x != e);
+                obs.event(
+                    "sched.commit",
+                    Track::scheduler(0),
+                    obs.wall_now(),
+                    vec![
+                        ("iteration", (iterations as u64).into()),
+                        ("edge", (e.index() as u64).into()),
+                    ],
+                );
+            }
             None => break, // no edge in E_u groupable → done
         }
     }
 
+    let place_span = obs.begin(
+        "sched.placement",
+        Track::scheduler(1),
+        obs.wall_now(),
+        run_span,
+        vec![],
+    );
     let plan = can_place_with(
         dag,
         &assignment.dop,
@@ -183,18 +271,26 @@ pub fn joint_optimize(
         opts.fit_strategy,
     )
     .expect("committed configuration was verified placeable");
+    obs.end(place_span, obs.wall_now());
     // An edge is effectively colocated only when both endpoints ended on
     // the same server set; group membership is exactly that by
     // construction (groups place wholly on one server, or into aligned
     // gather chunks).
-    Schedule {
+    let schedule = Schedule {
         scheduler: format!("ditto-{objective}"),
         dop: assignment.dop,
         group_of: groups.group_of(n),
         groups: groups.groups(n),
         colocated,
         placement: plan.stage_placement,
+    };
+    if obs.is_enabled() {
+        obs.gauge_set("sched.groups", "", schedule.groups.len() as f64);
+        obs.gauge_set("sched.slots", "", schedule.total_slots() as f64);
+        obs.gauge_set("sched.iterations", "", iterations as f64);
     }
+    obs.end(run_span, obs.wall_now());
+    schedule
 }
 
 #[cfg(test)]

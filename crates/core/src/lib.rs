@@ -45,7 +45,7 @@ pub mod scheduler;
 pub use deadline::{deadline_constrained_dop, schedule_with_deadline};
 pub use dop::{compute_dop, DopAssignment};
 pub use grouping::{greedy_group_order, StageGroups};
-pub use joint::{joint_optimize, GroupOrderPolicy, JointOptions};
+pub use joint::{joint_optimize, joint_optimize_traced, GroupOrderPolicy, JointOptions};
 pub use objective::Objective;
 pub use placement::{can_place, can_place_with, FitStrategy, PlacementPlan};
 pub use predict::{predicted_cost, predicted_jct};

@@ -1,6 +1,6 @@
 //! The scheduler interface and Ditto's implementation of it.
 
-use crate::joint::{joint_optimize, JointOptions};
+use crate::joint::{joint_optimize, joint_optimize_traced, JointOptions};
 use crate::objective::Objective;
 use crate::schedule::Schedule;
 use ditto_cluster::ResourceManager;
@@ -42,6 +42,25 @@ impl DittoScheduler {
     /// Ditto with default options.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Schedule with telemetry: scheduler decisions (grouping merges,
+    /// placement checks, optimization rounds) land on `obs`'s scheduler
+    /// track. Equivalent to [`Scheduler::schedule`] when `obs` is
+    /// disabled.
+    pub fn schedule_traced(
+        &self,
+        ctx: &SchedulingContext<'_>,
+        obs: &ditto_obs::Recorder,
+    ) -> Schedule {
+        joint_optimize_traced(
+            ctx.dag,
+            ctx.model,
+            ctx.resources,
+            ctx.objective,
+            &self.options,
+            obs,
+        )
     }
 }
 

@@ -15,11 +15,11 @@
 //!   exponential backoff, speculative re-execution of stragglers past a
 //!   duration quantile, and failure-aware rescheduling (on server loss,
 //!   surviving work is kept, the resource snapshot is shrunk, and
-//!   [`joint_optimize`] replans the not-yet-started suffix of the DAG);
+//!   [`ditto_core::joint_optimize`] replans the not-yet-started suffix of
+//!   the DAG);
 //! * [`AttemptRecord`] / [`FaultStats`] — attempt-level accounting
 //!   (wasted GB·s, recovery delay) surfaced through
-//!   [`ExecutionTrace`](crate::trace::ExecutionTrace) and
-//!   [`JobMetrics`](crate::metrics::JobMetrics).
+//!   [`ExecutionTrace`] and [`JobMetrics`].
 //!
 //! Everything is deterministic: the same plan, policy and seed reproduce
 //! the same attempt history bit-for-bit, which is what the fixed-seed
@@ -30,9 +30,10 @@ use crate::groundtruth::GroundTruth;
 use crate::metrics::JobMetrics;
 use crate::trace::{ExecutionTrace, TaskTrace};
 use ditto_cluster::{ResourceManager, ServerId};
-use ditto_core::{joint_optimize, JointOptions, Objective, Schedule};
+use ditto_core::{joint_optimize_traced, JointOptions, Objective, Schedule};
 use ditto_dag::{JobDag, StageId};
-use ditto_storage::CostModel;
+use ditto_obs::{Recorder, Track};
+use ditto_storage::{CostModel, Medium};
 use ditto_timemodel::JobTimeModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -411,8 +412,9 @@ pub struct ReschedulingContext<'a> {
 /// killed and re-executed on a survivor; if
 /// [`RecoveryPolicy::reschedule_on_server_failure`] is set and a
 /// [`ReschedulingContext`] is supplied, stages that had not launched at
-/// the failure instant are replanned by [`joint_optimize`] against the
-/// shrunk resource snapshot (surviving work keeps its original schedule).
+/// the failure instant are replanned by [`ditto_core::joint_optimize`]
+/// against the shrunk resource snapshot (surviving work keeps its
+/// original schedule).
 pub fn try_simulate_with_faults(
     dag: &JobDag,
     schedule: &Schedule,
@@ -421,10 +423,35 @@ pub fn try_simulate_with_faults(
     policy: &RecoveryPolicy,
     resched: Option<&ReschedulingContext<'_>>,
 ) -> Result<(ExecutionTrace, JobMetrics), ExecError> {
+    try_simulate_with_faults_traced(dag, schedule, gt, plan, policy, resched, &Recorder::disabled())
+}
+
+/// [`try_simulate_with_faults`] with telemetry: task/stage/attempt spans,
+/// fault events, per-medium byte counters and task-duration histograms
+/// land on `obs` (sim-clock timestamps). The replanning path routes the
+/// re-optimization through [`joint_optimize_traced`], so rescheduling
+/// decisions appear on the scheduler track of the same trace. A disabled
+/// recorder makes this identical to [`try_simulate_with_faults`].
+pub fn try_simulate_with_faults_traced(
+    dag: &JobDag,
+    schedule: &Schedule,
+    gt: &GroundTruth,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+    resched: Option<&ReschedulingContext<'_>>,
+    obs: &Recorder,
+) -> Result<(ExecutionTrace, JobMetrics), ExecError> {
     schedule
         .validate(dag)
         .map_err(ExecError::InvalidSchedule)?;
-    let pass1 = sim_pass(dag, schedule, gt, plan, policy)?;
+    // When a replan may discard the first pass, record telemetry only for
+    // the pass whose trace is actually returned.
+    let replan_possible = plan.first_server_failure().is_some()
+        && resched.is_some()
+        && policy.reschedule_on_server_failure;
+    let muted = Recorder::disabled();
+    let pass1_obs = if replan_possible { &muted } else { obs };
+    let pass1 = sim_pass(dag, schedule, gt, plan, policy, pass1_obs)?;
     let Some((failed, at_time)) = plan.first_server_failure() else {
         return Ok((pass1.trace, pass1.metrics));
     };
@@ -436,6 +463,12 @@ pub fn try_simulate_with_faults(
     let suffix: Vec<bool> = pass1.stage_launch.iter().map(|&l| l >= at_time).collect();
     let n_suffix = suffix.iter().filter(|&&b| b).count() as u32;
     if n_suffix == 0 {
+        // Pass 1 ran muted but is the final result: re-run it recorded.
+        // The simulation is deterministic, so the timeline is identical.
+        if obs.is_enabled() {
+            let pass = sim_pass(dag, schedule, gt, plan, policy, obs)?;
+            return Ok((pass.trace, pass.metrics));
+        }
         return Ok((pass1.trace, pass1.metrics));
     }
     let mut rm = ctx.resources.clone();
@@ -447,9 +480,21 @@ pub fn try_simulate_with_faults(
             available: rm.total_free(),
         });
     }
-    let replanned = joint_optimize(dag, ctx.model, &rm, ctx.objective, &ctx.options);
+    let replanned = joint_optimize_traced(dag, ctx.model, &rm, ctx.objective, &ctx.options, obs);
+    if obs.is_enabled() {
+        obs.event(
+            "sched.replan",
+            Track::scheduler(0),
+            obs.wall_now(),
+            vec![
+                ("failed_server", (failed.index() as u64).into()),
+                ("at_time", at_time.into()),
+                ("suffix_stages", (n_suffix as u64).into()),
+            ],
+        );
+    }
     let hybrid = hybrid_schedule(dag, schedule, &replanned, &suffix);
-    let mut pass2 = sim_pass(dag, &hybrid, gt, plan, policy)?;
+    let mut pass2 = sim_pass(dag, &hybrid, gt, plan, policy, obs)?;
     pass2.metrics.faults.rescheduled_stages = n_suffix;
     Ok((pass2.trace, pass2.metrics))
 }
@@ -517,11 +562,25 @@ fn sim_pass(
     gt: &GroundTruth,
     plan: &FaultPlan,
     policy: &RecoveryPolicy,
+    obs: &Recorder,
 ) -> Result<SimPass, ExecError> {
     let order = dag.topo_order().map_err(|_| ExecError::CyclicDag)?;
     let n = dag.num_stages();
     let failure = plan.first_server_failure();
     let restart_server = failure.map(|(failed, _)| pick_survivor(schedule, failed));
+
+    if obs.is_enabled() {
+        obs.name_track(Track::JOB_GROUP, "job");
+        obs.name_track(Track::STORAGE_GROUP, "storage");
+        if let Some((failed, at)) = failure {
+            obs.event(
+                "fault.server_failed",
+                Track::job(0),
+                at,
+                vec![("server", (failed.index() as u64).into())],
+            );
+        }
+    }
 
     let mut stage_end = vec![0.0_f64; n];
     let mut stage_write_start = vec![0.0_f64; n];
@@ -724,21 +783,16 @@ fn sim_pass(
             .map(|o| o.first_launch)
             .fold(f64::MAX, f64::min)
             .min(ready);
+        // Per-task shuffle volume estimates for telemetry consumers.
+        let d_f = (d as f64).max(1.0);
+        let task_read_bytes: f64 =
+            dag.in_edges(s).map(|e| e.bytes as f64).sum::<f64>() / d_f;
+        let task_write_bytes: f64 =
+            dag.out_edges(s).map(|e| e.bytes as f64).sum::<f64>() / d_f;
         for (t, mut o) in outcomes.into_iter().enumerate() {
             end = end.max(o.end);
             wstart = wstart.min(o.write_start);
             rend = rend.max(o.compute_start);
-            trace.tasks.push(TaskTrace {
-                stage: s.0,
-                task: t as u32,
-                server: o.server,
-                launch: o.launch,
-                read_start: o.read_start,
-                compute_start: o.compute_start,
-                write_start: o.write_start,
-                end: o.end,
-                memory_gb: mem,
-            });
             if !o.records.is_empty() {
                 // Close the sequence with the winning attempt.
                 o.records.push(AttemptRecord {
@@ -751,10 +805,88 @@ fn sim_pass(
                     outcome: AttemptOutcome::Completed,
                     wasted_gb_s: 0.0,
                 });
+            }
+            if obs.is_enabled() {
+                let srv = o.server.index() as u32;
+                obs.name_track(Track::SERVER_BASE + srv, &format!("server {srv}"));
+                let lane = s.0 * 10_000 + t as u32;
+                obs.span(
+                    "task",
+                    Track::server(srv, lane),
+                    o.launch,
+                    o.end,
+                    vec![
+                        ("stage", s.0.into()),
+                        ("task", (t as u32).into()),
+                        ("attempts", o.attempts.into()),
+                        ("read_start", o.read_start.into()),
+                        ("compute_start", o.compute_start.into()),
+                        ("write_start", o.write_start.into()),
+                        ("memory_gb", mem.into()),
+                        ("bytes_read", task_read_bytes.into()),
+                        ("bytes_written", task_write_bytes.into()),
+                    ],
+                );
+                obs.observe("task.duration", "all", o.end - o.launch);
+                for r in &o.records {
+                    let (name, fault) = match r.outcome {
+                        AttemptOutcome::Crashed => ("fault.crashed", true),
+                        AttemptOutcome::ServerLost => ("fault.server_lost", true),
+                        AttemptOutcome::Superseded => ("fault.superseded", true),
+                        AttemptOutcome::Completed => ("", false),
+                    };
+                    obs.span(
+                        "attempt",
+                        Track::server(r.server.index() as u32, lane),
+                        r.start,
+                        r.end,
+                        vec![
+                            ("stage", r.stage.into()),
+                            ("task", r.task.into()),
+                            ("attempt", r.attempt.into()),
+                            ("outcome", outcome_label(r.outcome).into()),
+                            ("wasted_gb_s", r.wasted_gb_s.into()),
+                        ],
+                    );
+                    if fault {
+                        obs.event(
+                            name,
+                            Track::server(r.server.index() as u32, lane),
+                            r.end,
+                            vec![
+                                ("stage", r.stage.into()),
+                                ("task", r.task.into()),
+                                ("attempt", r.attempt.into()),
+                            ],
+                        );
+                    }
+                }
+            }
+            trace.tasks.push(TaskTrace {
+                stage: s.0,
+                task: t as u32,
+                server: o.server,
+                launch: o.launch,
+                read_start: o.read_start,
+                compute_start: o.compute_start,
+                write_start: o.write_start,
+                end: o.end,
+                memory_gb: mem,
+            });
+            if !o.records.is_empty() {
                 trace.attempts.append(&mut o.records);
             }
         }
         stage_end[s.index()] = end;
+        if obs.is_enabled() {
+            obs.span(
+                "stage",
+                Track::job(s.0),
+                stage_launch[s.index()],
+                end,
+                vec![("stage", s.0.into()), ("dop", (d as u64).into())],
+            );
+        }
         stage_write_start[s.index()] = if wstart.is_finite() { wstart } else { end };
         stage_read_end[s.index()] = rend;
     }
@@ -769,6 +901,14 @@ fn sim_pass(
         let resident_to = stage_read_end[e.dst.index()].max(resident_from);
         storage_cost +=
             CostModel::for_medium(medium).persistence_cost(e.bytes, resident_to - resident_from);
+        if obs.is_enabled() {
+            obs.counter_add(
+                "storage.bytes",
+                medium_label(medium),
+                e.bytes as f64,
+                resident_from,
+            );
+        }
     }
 
     let metrics = JobMetrics {
@@ -782,6 +922,25 @@ fn sim_pass(
         metrics,
         stage_launch,
     })
+}
+
+/// Static label of an [`AttemptOutcome`] for telemetry attributes.
+fn outcome_label(outcome: AttemptOutcome) -> &'static str {
+    match outcome {
+        AttemptOutcome::Completed => "completed",
+        AttemptOutcome::Crashed => "crashed",
+        AttemptOutcome::ServerLost => "server_lost",
+        AttemptOutcome::Superseded => "superseded",
+    }
+}
+
+/// Static label of a [`Medium`] for telemetry counter series.
+fn medium_label(medium: Medium) -> &'static str {
+    match medium {
+        Medium::SharedMemory => "shared-memory",
+        Medium::Redis => "redis",
+        Medium::S3 => "s3",
+    }
 }
 
 /// Deterministic restart target after a server failure: the lowest

@@ -43,12 +43,12 @@ pub mod trace;
 
 pub use error::ExecError;
 pub use faults::{
-    try_simulate_with_faults, AttemptOutcome, AttemptRecord, FaultEvent, FaultPlan, FaultRates,
-    FaultStats, RecoveryPolicy, ReschedulingContext,
+    try_simulate_with_faults, try_simulate_with_faults_traced, AttemptOutcome, AttemptRecord,
+    FaultEvent, FaultPlan, FaultRates, FaultStats, RecoveryPolicy, ReschedulingContext,
 };
 pub use groundtruth::{ExecConfig, GroundTruth};
 pub use metrics::JobMetrics;
 pub use profile::profile_job;
 pub use runner::LocalRuntime;
-pub use sim::{simulate, try_simulate};
+pub use sim::{simulate, simulate_traced, try_simulate};
 pub use trace::{ExecutionTrace, StageBreakdown, TaskTrace};

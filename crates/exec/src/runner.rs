@@ -379,9 +379,7 @@ impl LocalRuntime {
             server,
             start: launch,
             end,
-            read_secs,
-            compute_secs,
-            write_secs,
+            steps: ditto_obs::StepTimings::new(0.0, read_secs, compute_secs, write_secs),
             bytes_read,
             bytes_written,
         });

@@ -61,6 +61,27 @@ pub fn try_simulate(
     )
 }
 
+/// [`simulate`] with telemetry: every task, stage and storage transfer of
+/// the fault-free run lands on `obs` as spans/counters (sim-clock
+/// timestamps). With a disabled recorder this is exactly [`simulate`].
+pub fn simulate_traced(
+    dag: &JobDag,
+    schedule: &Schedule,
+    gt: &GroundTruth,
+    obs: &ditto_obs::Recorder,
+) -> (ExecutionTrace, JobMetrics) {
+    crate::faults::try_simulate_with_faults_traced(
+        dag,
+        schedule,
+        gt,
+        &FaultPlan::none(),
+        &RecoveryPolicy::none(),
+        None,
+        obs,
+    )
+    .expect("schedule must be valid for its DAG")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

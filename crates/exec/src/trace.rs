@@ -6,6 +6,7 @@
 
 use crate::faults::{AttemptOutcome, AttemptRecord};
 use ditto_cluster::ServerId;
+use ditto_obs::StepTimings;
 
 /// One task's timeline (all times are seconds since job submission).
 #[derive(Debug, Clone, PartialEq, serde::Serialize)]
@@ -36,9 +37,9 @@ impl TaskTrace {
         self.end - self.launch
     }
 
-    /// Step durations `(setup, read, compute, write)`.
-    pub fn steps(&self) -> (f64, f64, f64, f64) {
-        (
+    /// Step durations as the shared [`StepTimings`] shape.
+    pub fn steps(&self) -> StepTimings {
+        StepTimings::new(
             self.read_start - self.launch,
             self.compute_start - self.read_start,
             self.write_start - self.compute_start,
@@ -117,20 +118,20 @@ impl ExecutionTrace {
                 if ts.is_empty() {
                     return None;
                 }
-                let n = ts.len() as f64;
-                let sum4 = ts.iter().fold((0.0, 0.0, 0.0, 0.0), |acc, t| {
-                    let (a, b, c, d) = t.steps();
-                    (acc.0 + a, acc.1 + b, acc.2 + c, acc.3 + d)
-                });
+                let mut sum = StepTimings::zero();
+                for t in &ts {
+                    sum.accumulate(&t.steps());
+                }
+                let mean = sum.scaled(1.0 / ts.len() as f64);
                 Some(StageBreakdown {
                     stage: s,
                     tasks: ts.len() as u32,
                     start: ts.iter().map(|t| t.launch).fold(f64::MAX, f64::min),
                     end: ts.iter().map(|t| t.end).fold(f64::MIN, f64::max),
-                    setup: sum4.0 / n,
-                    read: sum4.1 / n,
-                    compute: sum4.2 / n,
-                    write: sum4.3 / n,
+                    setup: mean.setup,
+                    read: mean.read,
+                    compute: mean.compute,
+                    write: mean.write,
                 })
             })
             .collect()
@@ -217,12 +218,12 @@ impl ExecutionTrace {
         let mut events = Vec::with_capacity(self.tasks.len() * 4);
         for t in &self.tasks {
             let tid = t.stage * 10_000 + t.task;
-            let (setup, read, compute, write) = t.steps();
+            let steps = t.steps();
             for (name, start, dur) in [
-                ("setup", t.launch, setup),
-                ("read", t.read_start, read),
-                ("compute", t.compute_start, compute),
-                ("write", t.write_start, write),
+                ("setup", t.launch, steps.setup),
+                ("read", t.read_start, steps.read),
+                ("compute", t.compute_start, steps.compute),
+                ("write", t.write_start, steps.write),
             ] {
                 if dur <= 0.0 {
                     continue;
@@ -285,7 +286,7 @@ mod tests {
     #[test]
     fn steps_and_duration() {
         let t = task(0, 0, 1.0, (0.5, 2.0, 3.0, 1.0));
-        assert_eq!(t.steps(), (0.5, 2.0, 3.0, 1.0));
+        assert_eq!(t.steps().as_tuple(), (0.5, 2.0, 3.0, 1.0));
         assert!((t.duration() - 6.5).abs() < 1e-12);
     }
 

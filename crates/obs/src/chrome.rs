@@ -1,0 +1,275 @@
+//! Chrome `trace_event` JSON exporter.
+//!
+//! Emits the format consumed by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev): an object with a `traceEvents`
+//! array of `"X"` (duration), `"i"` (instant), `"C"` (counter) and `"M"`
+//! (metadata) events. Track groups map to `pid`, lanes to `tid`, so each
+//! server renders as its own process box with task Gantt bars inside.
+//!
+//! Task/attempt spans are recorded as ONE span carrying phase-boundary
+//! attributes (`read_start`, `compute_start`, `write_start`); the
+//! exporter expands them into nested `setup`/`read`/`compute`/`write`
+//! step slices here, keeping the simulator's hot path at a single
+//! recorder call per task.
+//!
+//! Output is deterministic: timestamps are integral microseconds, events
+//! are sorted by `(ts, pid, tid, phase, name)` with metadata first, and
+//! the shim `serde_json` map preserves insertion order — the same
+//! `TraceData` always serializes to the same bytes.
+
+use crate::span::{AttrValue, SpanRecord, TraceData, Track};
+use serde_json::{Map, Number, Value};
+
+/// Phase boundary attributes expanded into step slices, in step order.
+const STEP_BOUNDS: [&str; 3] = ["read_start", "compute_start", "write_start"];
+/// Step slice names matching [`STEP_BOUNDS`] intervals.
+const STEP_NAMES: [&str; 4] = ["setup", "read", "compute", "write"];
+
+fn us(secs: f64) -> u64 {
+    (secs.max(0.0) * 1e6).round() as u64
+}
+
+fn attr_value(v: &AttrValue) -> Value {
+    match v {
+        AttrValue::U64(x) => Value::Number(Number::PosInt(*x)),
+        AttrValue::F64(x) => Value::Number(Number::Float(*x)),
+        AttrValue::Str(s) => Value::String((*s).to_string()),
+        AttrValue::Text(s) => Value::String(s.clone()),
+    }
+}
+
+fn args_of(attrs: &[(&'static str, AttrValue)]) -> Value {
+    let mut m = Map::new();
+    for (k, v) in attrs {
+        m.insert((*k).to_string(), attr_value(v));
+    }
+    Value::Object(m)
+}
+
+/// Sort key: metadata first, then by time, track, phase, name.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    meta: u8,
+    ts: u64,
+    pid: u32,
+    tid: u32,
+    phase: u8,
+    name: String,
+    seq: u32,
+}
+
+struct Builder {
+    events: Vec<(Key, Value)>,
+    seq: u32,
+}
+
+impl Builder {
+    fn push(&mut self, ph: &str, name: &str, track: Track, ts: u64, dur: Option<u64>, args: Value) {
+        let mut m = Map::new();
+        m.insert("name".into(), Value::String(name.to_string()));
+        m.insert("ph".into(), Value::String(ph.to_string()));
+        m.insert("ts".into(), Value::Number(Number::PosInt(ts)));
+        if let Some(d) = dur {
+            m.insert("dur".into(), Value::Number(Number::PosInt(d)));
+        }
+        m.insert("pid".into(), Value::Number(Number::PosInt(track.group as u64)));
+        m.insert("tid".into(), Value::Number(Number::PosInt(track.lane as u64)));
+        if ph == "i" {
+            m.insert("s".into(), Value::String("t".to_string()));
+        }
+        if !matches!(&args, Value::Object(o) if o.is_empty()) {
+            m.insert("args".into(), args);
+        }
+        let phase = match ph {
+            "M" => 0,
+            "X" => 1,
+            "C" => 2,
+            _ => 3,
+        };
+        self.events.push((
+            Key {
+                meta: u8::from(ph != "M"),
+                ts,
+                pid: track.group,
+                tid: track.lane,
+                phase,
+                name: name.to_string(),
+                seq: self.seq,
+            },
+            Value::Object(m),
+        ));
+        self.seq += 1;
+    }
+}
+
+/// Step boundaries of a task-like span: `[start, read, compute, write, end]`
+/// when all three phase attrs are present and ordered; `None` otherwise.
+fn step_bounds(span: &SpanRecord) -> Option<[f64; 5]> {
+    let r = span.attr_f64(STEP_BOUNDS[0])?;
+    let c = span.attr_f64(STEP_BOUNDS[1])?;
+    let w = span.attr_f64(STEP_BOUNDS[2])?;
+    let b = [span.start, r, c, w, span.end];
+    if b.windows(2).all(|p| p[1] >= p[0]) {
+        Some(b)
+    } else {
+        None
+    }
+}
+
+/// Serialize a finished trace to Chrome `trace_event` JSON (compact,
+/// byte-stable for identical input).
+pub fn to_chrome_trace(data: &TraceData) -> String {
+    let mut b = Builder {
+        events: Vec::new(),
+        seq: 0,
+    };
+
+    for (&group, name) in &data.track_names {
+        let mut args = Map::new();
+        args.insert("name".into(), Value::String(name.clone()));
+        b.push(
+            "M",
+            "process_name",
+            Track { group, lane: 0 },
+            0,
+            None,
+            Value::Object(args),
+        );
+    }
+
+    for span in &data.spans {
+        if !span.end.is_finite() {
+            continue; // never closed; skip rather than fabricate an end
+        }
+        let start = us(span.start);
+        let dur = us(span.end).saturating_sub(start);
+        b.push("X", span.name, span.track, start, Some(dur), args_of(&span.attrs));
+        if let Some(bounds) = step_bounds(span) {
+            for (i, name) in STEP_NAMES.iter().enumerate() {
+                let s = us(bounds[i]);
+                let e = us(bounds[i + 1]);
+                if e > s {
+                    b.push("X", name, span.track, s, Some(e - s), args_of(&[]));
+                }
+            }
+        }
+    }
+
+    for ev in &data.events {
+        b.push("i", ev.name, ev.track, us(ev.ts), None, args_of(&ev.attrs));
+    }
+
+    for sample in &data.samples {
+        let mut args = Map::new();
+        args.insert(
+            sample.series.clone(),
+            Value::Number(Number::Float(sample.total)),
+        );
+        b.push(
+            "C",
+            sample.name,
+            Track::storage(),
+            us(sample.ts),
+            None,
+            Value::Object(args),
+        );
+    }
+
+    b.events.sort_by(|a, b| a.0.cmp(&b.0));
+    let events: Vec<Value> = b.events.into_iter().map(|(_, v)| v).collect();
+
+    let mut root = Map::new();
+    root.insert("traceEvents".into(), Value::Array(events));
+    root.insert("displayTimeUnit".into(), Value::String("ms".to_string()));
+    Value::Object(root).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Recorder;
+
+    fn demo_trace() -> TraceData {
+        let rec = Recorder::new();
+        rec.name_track(Track::SERVER_BASE, "server 0");
+        rec.name_track(Track::SCHEDULER_GROUP, "scheduler");
+        rec.span(
+            "task",
+            Track::server(0, 5),
+            1.0,
+            4.0,
+            vec![
+                ("stage", 0u32.into()),
+                ("read_start", 1.5f64.into()),
+                ("compute_start", 2.0f64.into()),
+                ("write_start", 3.5f64.into()),
+            ],
+        );
+        rec.span("sched.joint", Track::scheduler(0), 0.0, 0.5, vec![]);
+        rec.event(
+            "fault.crashed",
+            Track::server(0, 5),
+            2.5,
+            vec![("attempt", 0u32.into())],
+        );
+        rec.counter_add("storage.bytes", "s3", 1024.0, 1.0);
+        rec.finish()
+    }
+
+    #[test]
+    fn expands_task_steps() {
+        let json = to_chrome_trace(&demo_trace());
+        let v: Value = serde_json::from_str(&json).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        let names: Vec<&str> = events.iter().filter_map(|e| e["name"].as_str()).collect();
+        for expected in ["process_name", "task", "setup", "read", "compute", "write", "sched.joint", "fault.crashed", "storage.bytes"] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        let read = events.iter().find(|e| e["name"] == "read").unwrap();
+        assert_eq!(read["ts"].as_u64(), Some(1_500_000));
+        assert_eq!(read["dur"].as_u64(), Some(500_000));
+        assert_eq!(read["pid"].as_u64(), Some(Track::SERVER_BASE as u64));
+        assert_eq!(read["tid"].as_u64(), Some(5));
+    }
+
+    #[test]
+    fn byte_stable_across_exports() {
+        let data = demo_trace();
+        assert_eq!(to_chrome_trace(&data), to_chrome_trace(&data));
+    }
+
+    #[test]
+    fn metadata_sorts_first() {
+        let json = to_chrome_trace(&demo_trace());
+        let v: Value = serde_json::from_str(&json).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        assert_eq!(events[0]["ph"], "M");
+        assert_eq!(events[1]["ph"], "M");
+        assert_ne!(events[2]["ph"], "M");
+    }
+
+    #[test]
+    fn skips_unclosed_spans_and_bad_bounds() {
+        let rec = Recorder::new();
+        rec.begin("open", Track::job(0), 0.0, crate::span::SpanId::NONE, vec![]);
+        // Out-of-order phase bounds: span still exported, steps are not.
+        rec.span(
+            "task",
+            Track::server(0, 0),
+            0.0,
+            2.0,
+            vec![
+                ("read_start", 1.5f64.into()),
+                ("compute_start", 1.0f64.into()),
+                ("write_start", 1.8f64.into()),
+            ],
+        );
+        let json = to_chrome_trace(&rec.finish());
+        let v: Value = serde_json::from_str(&json).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        let names: Vec<&str> = events.iter().filter_map(|e| e["name"].as_str()).collect();
+        assert!(!names.contains(&"open"));
+        assert!(names.contains(&"task"));
+        assert!(!names.contains(&"read"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Flat exporters: JSONL event log and end-of-run summary table.
+//!
+//! [`to_jsonl`] writes one self-describing JSON object per line
+//! (`kind` = `span` / `event` / `counter` / `metric`) — easy to grep,
+//! stream, or load into a dataframe without a trace viewer.
+//! [`summary_table`] renders the human-readable end-of-run digest:
+//! per-span-name durations and every metric series.
+
+use crate::metrics::MetricKind;
+use crate::span::{AttrValue, TraceData, Track};
+use serde_json::{Map, Number, Value};
+use std::collections::BTreeMap;
+
+fn track_value(track: Track) -> Value {
+    let mut m = Map::new();
+    m.insert("group".into(), Value::Number(Number::PosInt(track.group as u64)));
+    m.insert("lane".into(), Value::Number(Number::PosInt(track.lane as u64)));
+    Value::Object(m)
+}
+
+fn attrs_value(attrs: &[(&'static str, AttrValue)]) -> Value {
+    let mut m = Map::new();
+    for (k, v) in attrs {
+        let jv = match v {
+            AttrValue::U64(x) => Value::Number(Number::PosInt(*x)),
+            AttrValue::F64(x) => Value::Number(Number::Float(*x)),
+            AttrValue::Str(s) => Value::String((*s).to_string()),
+            AttrValue::Text(s) => Value::String(s.clone()),
+        };
+        m.insert((*k).to_string(), jv);
+    }
+    Value::Object(m)
+}
+
+fn line(m: Map) -> String {
+    Value::Object(m).to_string()
+}
+
+/// Serialize a finished trace as JSONL: one object per line, each with a
+/// `kind` discriminator. Ends with a trailing newline.
+pub fn to_jsonl(data: &TraceData) -> String {
+    let mut out = String::new();
+    for s in &data.spans {
+        let mut m = Map::new();
+        m.insert("kind".into(), Value::String("span".into()));
+        m.insert("name".into(), Value::String(s.name.to_string()));
+        m.insert("id".into(), Value::Number(Number::PosInt(s.id as u64)));
+        m.insert("parent".into(), Value::Number(Number::PosInt(s.parent as u64)));
+        m.insert("track".into(), track_value(s.track));
+        m.insert("start".into(), Value::Number(Number::Float(s.start)));
+        m.insert(
+            "end".into(),
+            if s.end.is_finite() {
+                Value::Number(Number::Float(s.end))
+            } else {
+                Value::Null
+            },
+        );
+        m.insert("wall_start".into(), Value::Number(Number::Float(s.wall_start)));
+        m.insert("attrs".into(), attrs_value(&s.attrs));
+        out.push_str(&line(m));
+        out.push('\n');
+    }
+    for e in &data.events {
+        let mut m = Map::new();
+        m.insert("kind".into(), Value::String("event".into()));
+        m.insert("name".into(), Value::String(e.name.to_string()));
+        m.insert("track".into(), track_value(e.track));
+        m.insert("ts".into(), Value::Number(Number::Float(e.ts)));
+        m.insert("wall".into(), Value::Number(Number::Float(e.wall)));
+        m.insert("attrs".into(), attrs_value(&e.attrs));
+        out.push_str(&line(m));
+        out.push('\n');
+    }
+    for c in &data.samples {
+        let mut m = Map::new();
+        m.insert("kind".into(), Value::String("counter".into()));
+        m.insert("name".into(), Value::String(c.name.to_string()));
+        m.insert("series".into(), Value::String(c.series.clone()));
+        m.insert("ts".into(), Value::Number(Number::Float(c.ts)));
+        m.insert("total".into(), Value::Number(Number::Float(c.total)));
+        out.push_str(&line(m));
+        out.push('\n');
+    }
+    for s in &data.metrics {
+        let mut m = Map::new();
+        m.insert("kind".into(), Value::String("metric".into()));
+        m.insert("name".into(), Value::String(s.name.to_string()));
+        m.insert("series".into(), Value::String(s.series.clone()));
+        m.insert("metric_kind".into(), Value::String(s.kind.as_str().into()));
+        m.insert("value".into(), Value::Number(Number::Float(s.value)));
+        if s.kind == MetricKind::Histogram {
+            m.insert("count".into(), Value::Number(Number::PosInt(s.count)));
+            m.insert("p50".into(), Value::Number(Number::Float(s.p50)));
+            m.insert("p95".into(), Value::Number(Number::Float(s.p95)));
+            m.insert("p99".into(), Value::Number(Number::Float(s.p99)));
+            m.insert("max".into(), Value::Number(Number::Float(s.max)));
+        }
+        out.push_str(&line(m));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the human-readable end-of-run summary: spans grouped by name
+/// (count, total/mean/max duration) followed by every metric series.
+pub fn summary_table(data: &TraceData) -> String {
+    struct Agg {
+        count: u64,
+        total: f64,
+        max: f64,
+    }
+    let mut by_name: BTreeMap<&'static str, Agg> = BTreeMap::new();
+    for s in &data.spans {
+        let d = s.duration();
+        let agg = by_name.entry(s.name).or_insert(Agg {
+            count: 0,
+            total: 0.0,
+            max: 0.0,
+        });
+        agg.count += 1;
+        agg.total += d;
+        agg.max = agg.max.max(d);
+    }
+
+    let mut out = String::new();
+    out.push_str("== telemetry summary ==\n");
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>12} {:>12} {:>12}\n",
+        "span", "count", "total s", "mean s", "max s"
+    ));
+    for (name, agg) in &by_name {
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>12.4} {:>12.4} {:>12.4}\n",
+            name,
+            agg.count,
+            agg.total,
+            agg.total / agg.count as f64,
+            agg.max
+        ));
+    }
+    if !data.events.is_empty() {
+        let mut ev_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for e in &data.events {
+            *ev_counts.entry(e.name).or_insert(0) += 1;
+        }
+        out.push_str(&format!("{:<28} {:>8}\n", "event", "count"));
+        for (name, n) in &ev_counts {
+            out.push_str(&format!("{:<28} {:>8}\n", name, n));
+        }
+    }
+    if !data.metrics.is_empty() {
+        out.push_str(&format!(
+            "{:<28} {:<16} {:<10} {:>14} {:>10} {:>10} {:>10}\n",
+            "metric", "series", "kind", "value", "p50", "p95", "p99"
+        ));
+        for m in &data.metrics {
+            if m.kind == MetricKind::Histogram {
+                out.push_str(&format!(
+                    "{:<28} {:<16} {:<10} {:>14.4} {:>10.4} {:>10.4} {:>10.4}\n",
+                    m.name,
+                    m.series,
+                    m.kind.as_str(),
+                    m.value,
+                    m.p50,
+                    m.p95,
+                    m.p99
+                ));
+            } else {
+                out.push_str(&format!(
+                    "{:<28} {:<16} {:<10} {:>14.4}\n",
+                    m.name,
+                    m.series,
+                    m.kind.as_str(),
+                    m.value
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Recorder;
+
+    fn demo() -> TraceData {
+        let rec = Recorder::new();
+        rec.span("task", Track::server(0, 1), 0.0, 2.0, vec![("stage", 1u32.into())]);
+        rec.span("task", Track::server(0, 2), 0.0, 4.0, vec![]);
+        rec.event("fault.crashed", Track::server(0, 1), 1.0, vec![]);
+        rec.counter_add("storage.bytes", "redis", 8.0, 0.5);
+        rec.observe("task.duration", "all", 2.0);
+        rec.finish()
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_discriminate() {
+        let text = to_jsonl(&demo());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2 + 1 + 1 + 2); // spans + event + sample + 2 metrics
+        let mut kinds = Vec::new();
+        for l in &lines {
+            let v: Value = serde_json::from_str(l).unwrap();
+            kinds.push(v["kind"].as_str().unwrap().to_string());
+        }
+        assert_eq!(kinds.iter().filter(|k| *k == "span").count(), 2);
+        assert_eq!(kinds.iter().filter(|k| *k == "event").count(), 1);
+        assert_eq!(kinds.iter().filter(|k| *k == "counter").count(), 1);
+        assert_eq!(kinds.iter().filter(|k| *k == "metric").count(), 2);
+        let first: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first["attrs"]["stage"].as_u64(), Some(1));
+        assert_eq!(first["track"]["group"].as_u64(), Some(Track::SERVER_BASE as u64));
+    }
+
+    #[test]
+    fn summary_aggregates_span_names() {
+        let table = summary_table(&demo());
+        assert!(table.contains("task"));
+        assert!(table.contains("fault.crashed"));
+        assert!(table.contains("storage.bytes"));
+        let task_line = table.lines().find(|l| l.starts_with("task")).unwrap();
+        assert!(task_line.contains("2"), "{task_line}"); // count
+        assert!(task_line.contains("6.0000"), "{task_line}"); // total
+        assert!(task_line.contains("3.0000"), "{task_line}"); // mean
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # ditto-obs — the unified telemetry layer
+//!
+//! One observability vocabulary shared by every layer of the stack:
+//!
+//! * [`span`] — structured tracing: a thread-safe [`Recorder`] collecting
+//!   [`SpanRecord`]s and [`EventRecord`]s on named tracks, with sim-clock
+//!   *and* wall-clock timestamps. A disabled recorder costs one branch per
+//!   call — no locks, no allocation — so instrumented hot paths stay hot.
+//! * [`metrics`] — a [`MetricsRegistry`] of counters, gauges and
+//!   log-scale histograms (p50/p95/p99), keyed by static name + label.
+//! * [`chrome`] — export a finished trace as Chrome `trace_event` JSON,
+//!   loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev):
+//!   a Gantt of stages, tasks and attempts per server track, scheduler
+//!   decisions on their own track, per-medium byte counters below.
+//! * [`jsonl`] — the same stream as flat JSONL (one event per line) plus a
+//!   human-readable end-of-run summary table.
+//! * [`mod@critical_path`] — walk a finished trace backwards from the last
+//!   task end and attribute every second of JCT to a (stage, step) pair or
+//!   to scheduling gaps — the paper's Fig. 14 breakdown regenerated from
+//!   the event stream instead of bespoke code.
+//! * [`schema`] — a pure-Rust structural validator for the emitted Chrome
+//!   trace (no network, no external schema engine) used by CI.
+//! * [`timings`] — the shared [`StepTimings`] (setup/read/compute/write)
+//!   shape used by execution traces and the cluster runtime monitor.
+//!
+//! Span names are namespaced by layer: `sched.*` (scheduler decisions),
+//! `exec.*`/`task`/`attempt`/`stage` (executor), `storage.*` (data plane).
+
+pub mod chrome;
+pub mod critical_path;
+pub mod jsonl;
+pub mod metrics;
+pub mod schema;
+pub mod span;
+pub mod timings;
+
+pub use chrome::to_chrome_trace;
+pub use critical_path::{critical_path, CriticalPathReport, StageAttribution};
+pub use jsonl::{summary_table, to_jsonl};
+pub use metrics::{LogHistogram, MetricKind, MetricSnapshot, MetricsRegistry};
+pub use schema::{validate_chrome_trace, ChromeTraceStats};
+pub use span::{
+    AttrValue, CounterSample, EventRecord, Recorder, SpanId, SpanRecord, TraceData, Track,
+};
+pub use timings::StepTimings;

@@ -75,6 +75,7 @@ pub struct DataPlane {
     external: Arc<ObjectStore>,
     buses: Vec<Arc<SharedMemoryBus>>,
     ledger: Mutex<TransferLedger>,
+    obs: Mutex<Option<Arc<ditto_obs::Recorder>>>,
 }
 
 impl DataPlane {
@@ -100,7 +101,16 @@ impl DataPlane {
             external,
             buses: (0..n_servers).map(|_| Arc::new(SharedMemoryBus::new())).collect(),
             ledger: Mutex::new(TransferLedger::default()),
+            obs: Mutex::new(None),
         }
+    }
+
+    /// Attach a telemetry recorder: every subsequent transfer also lands
+    /// on the `storage.bytes` counter (per-medium series), timestamped
+    /// with the recorder's wall clock. Physical-path counterpart of the
+    /// simulator's per-edge byte accounting.
+    pub fn attach_recorder(&self, obs: Arc<ditto_obs::Recorder>) {
+        *self.obs.lock() = Some(obs);
     }
 
     /// The configured external medium.
@@ -134,11 +144,23 @@ impl DataPlane {
 
     /// Record a (simulated or physical) transfer in the ledger.
     pub fn record_transfer(&self, medium: Medium, bytes: u64) {
-        let mut l = self.ledger.lock();
-        let m = l.for_medium_mut(medium);
-        m.bytes_in += bytes;
-        m.bytes_out += bytes;
-        m.transfers += 1;
+        {
+            let mut l = self.ledger.lock();
+            let m = l.for_medium_mut(medium);
+            m.bytes_in += bytes;
+            m.bytes_out += bytes;
+            m.transfers += 1;
+        }
+        if let Some(obs) = self.obs.lock().as_ref() {
+            if obs.is_enabled() {
+                let series = match medium {
+                    Medium::SharedMemory => "shared-memory",
+                    Medium::Redis => "redis",
+                    Medium::S3 => "s3",
+                };
+                obs.counter_add("storage.bytes", series, bytes as f64, obs.wall_now());
+            }
+        }
     }
 
     /// Accrue persistence cost: `bytes` resident in `medium` for `seconds`.
@@ -285,6 +307,25 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         dp.send_partition(0, 0, 0, 0, 1, Bytes::from_static(b"late")).unwrap();
         assert_eq!(t.join().unwrap().unwrap(), Bytes::from_static(b"late"));
+    }
+
+    #[test]
+    fn attached_recorder_sees_transfers() {
+        let obs = Arc::new(ditto_obs::Recorder::new());
+        let dp = DataPlane::new(Medium::S3, 2);
+        dp.attach_recorder(obs.clone());
+        dp.send_partition(0, 0, 0, 0, 0, Bytes::from_static(b"local")).unwrap();
+        dp.send_partition(0, 0, 1, 0, 1, Bytes::from_static(b"remote!")).unwrap();
+        let data = obs.finish();
+        assert_eq!(data.samples.len(), 2);
+        let m = &data.metrics;
+        let get = |series: &str| {
+            m.iter()
+                .find(|s| s.name == "storage.bytes" && s.series == series)
+                .map(|s| s.value)
+        };
+        assert_eq!(get("shared-memory"), Some(5.0));
+        assert_eq!(get("s3"), Some(7.0));
     }
 
     #[test]

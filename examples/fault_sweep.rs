@@ -13,19 +13,35 @@
 //!
 //! ```sh
 //! cargo run --release --example fault_sweep
+//! cargo run --release --example fault_sweep -- --trace-out faults.json
 //! ```
+//!
+//! With `--trace-out <path>` the attempt-level run (§2 below) executes
+//! with telemetry enabled and its full stream — scheduler decisions,
+//! per-attempt task spans, fault events, storage byte counters — is
+//! written as a Chrome trace_event file for <https://ui.perfetto.dev>.
 
 use ditto::cluster::{Cluster, ResourceManager, ServerId, SlotDistribution};
 use ditto::core::{DittoScheduler, JointOptions, Objective, Scheduler, SchedulingContext};
 use ditto::core::baselines::NimbleScheduler;
 use ditto::exec::{
-    profile_job, simulate, try_simulate_with_faults, ExecConfig, FaultPlan, FaultRates,
-    GroundTruth, RecoveryPolicy, ReschedulingContext,
+    profile_job, simulate, try_simulate_with_faults, try_simulate_with_faults_traced, ExecConfig,
+    FaultPlan, FaultRates, GroundTruth, RecoveryPolicy, ReschedulingContext,
 };
+use ditto::obs::{critical_path, summary_table, to_chrome_trace, Recorder};
 use ditto::sql::queries::Query;
 use ditto::sql::{Database, ScaleConfig};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = match args.iter().position(|a| a == "--trace-out") {
+        Some(i) => {
+            args.remove(i);
+            assert!(i < args.len(), "--trace-out needs a path argument");
+            Some(args.remove(i))
+        }
+        None => None,
+    };
     let db = Database::generate(ScaleConfig::with_sf(0.5));
     let mut plan = Query::Q95.prepared_plan(&db);
     plan.scale_volumes(40_000.0);
@@ -81,12 +97,16 @@ fn main() {
 
     // ---- 2. one run under the microscope ----
     println!("\n== attempt-level accounting (rate 0.1, ditto, retry+spec) ==");
-    let schedule = ditto.schedule(&SchedulingContext {
-        dag: &plan.dag,
-        model: &model,
-        resources: &rm,
-        objective: Objective::Jct,
-    });
+    let obs = if trace_out.is_some() { Recorder::new() } else { Recorder::disabled() };
+    let schedule = ditto.schedule_traced(
+        &SchedulingContext {
+            dag: &plan.dag,
+            model: &model,
+            resources: &rm,
+            objective: Objective::Jct,
+        },
+        &obs,
+    );
     let faults = FaultPlan::from_rates(FaultRates {
         crash_prob: 0.1,
         straggler_prob: 0.1,
@@ -94,8 +114,9 @@ fn main() {
         seed: 17,
     });
     let policy = RecoveryPolicy { max_retries: 16, ..RecoveryPolicy::default() };
-    let (trace, m) = try_simulate_with_faults(&plan.dag, &schedule, &gt, &faults, &policy, None)
-        .expect("recoverable");
+    let (trace, m) =
+        try_simulate_with_faults_traced(&plan.dag, &schedule, &gt, &faults, &policy, None, &obs)
+            .expect("recoverable");
     for a in trace.attempts.iter().take(12) {
         println!(
             "  stage {:>2} task {:>3} attempt {} on {}: {:>7.1}s..{:<7.1}s {:?} (wasted {:.0} GB*s)",
@@ -110,6 +131,19 @@ fn main() {
         m.faults.extra_attempts, m.faults.wasted_gb_s, m.faults.recovery_delay_s,
         m.faults.speculative_copies,
     );
+    if let Some(path) = &trace_out {
+        let data = obs.finish();
+        let chrome = to_chrome_trace(&data);
+        std::fs::write(path, &chrome).expect("write trace file");
+        println!(
+            "\n  wrote {path} ({} bytes, {} spans, {} events) — load in https://ui.perfetto.dev",
+            chrome.len(),
+            data.spans.len(),
+            data.events.len(),
+        );
+        println!("{}", summary_table(&data));
+        println!("{}", critical_path(&data).render());
+    }
 
     // ---- 3. whole-server failure with suffix rescheduling ----
     let (_, base) = simulate(&plan.dag, &schedule, &gt);

@@ -9,7 +9,7 @@
 
 use rand::{Rng, SeedableRng, StdRng};
 
-/// Strategy combinators and the [`Strategy`] trait.
+/// Strategy combinators and the [`Strategy`](strategy::Strategy) trait.
 pub mod strategy {
     use super::*;
 

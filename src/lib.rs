@@ -7,6 +7,7 @@ pub use ditto_cluster as cluster;
 pub use ditto_core as core;
 pub use ditto_dag as dag;
 pub use ditto_exec as exec;
+pub use ditto_obs as obs;
 pub use ditto_sql as sql;
 pub use ditto_storage as storage;
 pub use ditto_timemodel as timemodel;
