@@ -5,7 +5,13 @@
 //! cargo run --release -p ditto-bench --bin figures -- fig8a fig12 table1
 //! cargo run --release -p ditto-bench --bin figures -- --json fig8a
 //! cargo run --release -p ditto-bench --bin figures -- faults --trace-out trace.json
+//! cargo run --release -p ditto-bench --bin figures -- sched        # writes BENCH_sched.json
 //! ```
+//!
+//! `sched` (and its CI subset `sched-smoke`) is not part of `all`: the
+//! full sweep times the from-scratch reference optimizer up to 1024
+//! stages, which is exactly the slow path the incremental rewrite
+//! retired.
 //!
 //! `--trace-out <path>` additionally runs the fixed-seed traced fault
 //! experiment and writes its full telemetry stream as a Chrome
@@ -39,6 +45,10 @@ fn main() {
     } else {
         wanted
     };
+
+    // `sched` consumes --trace-out itself (the bench.sched spans); don't
+    // overwrite its file with the fault exemplar afterwards.
+    let mut sched_traced = false;
 
     for t in targets {
         println!("==================== {t} ====================");
@@ -93,6 +103,34 @@ fn main() {
             "multi" => emit(&ditto_bench::multi_job(), json),
             "deadline" => emit(&ditto_bench::deadline_sweep(), json),
             "faults" => emit(&ditto_bench::fault_sweep(), json),
+            // Scheduler throughput: incremental joint_optimize vs the
+            // from-scratch reference. `sched` runs the full 16→1024-stage
+            // sweep; `sched-smoke` the CI subset (16/64/256). Both write
+            // BENCH_sched.json to the cwd; with `--trace-out` the
+            // bench.sched spans land in the Chrome trace.
+            "sched" | "sched-smoke" => {
+                let obs = if trace_out.is_some() {
+                    ditto_obs::Recorder::new()
+                } else {
+                    ditto_obs::Recorder::disabled()
+                };
+                let sizes = if t == "sched" {
+                    ditto_bench::sched_bench::SCHED_BENCH_SIZES
+                } else {
+                    ditto_bench::sched_bench::SCHED_SMOKE_SIZES
+                };
+                let rows = ditto_bench::sched_bench_sizes(sizes, &obs);
+                emit(&rows, json);
+                std::fs::write("BENCH_sched.json", write_json(&rows)).expect("write BENCH_sched.json");
+                println!("wrote BENCH_sched.json ({} rows)", rows.len());
+                if let Some(path) = &trace_out {
+                    let data = obs.finish();
+                    let chrome = ditto_obs::to_chrome_trace(&data);
+                    std::fs::write(path, &chrome).expect("write trace file");
+                    println!("wrote {path} ({} spans)", data.spans.len());
+                    sched_traced = true;
+                }
+            }
             "telemetry" => emit(&ditto_bench::telemetry_overhead(), json),
             "export" => {
                 // Artifacts: the Ditto-scheduled Q95 DAG as Graphviz DOT
@@ -119,11 +157,13 @@ fn main() {
                 println!("render: dot -Tsvg q95_schedule.dot -o q95.svg");
                 println!("view trace: load q95_trace.json in https://ui.perfetto.dev");
             }
-            other => eprintln!("unknown target {other:?}; known: {all:?}"),
+            other => eprintln!(
+                "unknown target {other:?}; known: {all:?} (+ \"sched\", \"sched-smoke\" — not in `all`)"
+            ),
         }
     }
 
-    if let Some(path) = trace_out {
+    if let Some(path) = trace_out.filter(|_| !sched_traced) {
         println!("==================== trace-out ====================");
         let run = ditto_bench::traced_fault_run();
         let chrome = ditto_obs::to_chrome_trace(&run.data);

@@ -20,11 +20,13 @@
 pub mod ablations;
 pub mod experiments;
 pub mod report;
+pub mod sched_bench;
 pub mod setup;
 pub mod telemetry;
 
 pub use ablations::all_ablations;
 pub use experiments::*;
 pub use report::{render_rows, write_json};
+pub use sched_bench::{sched_bench, sched_bench_sizes, sched_bench_smoke, SchedBenchRow};
 pub use setup::{prepare, PreparedQuery, VOLUME_SCALE};
 pub use telemetry::{telemetry_overhead, traced_fault_run, TelemetryOverheadRow, TracedRun};

@@ -33,6 +33,13 @@ impl ResourceManager {
         self.free.len()
     }
 
+    /// Overwrite this snapshot with another's free slots, reusing the
+    /// existing allocation. Lets speculative placement checks reset a
+    /// scratch manager without cloning per attempt.
+    pub fn copy_free_from(&mut self, other: &Self) {
+        self.free.clone_from(&other.free);
+    }
+
     /// Free slots on one server.
     pub fn free_on(&self, s: ServerId) -> u32 {
         self.free[s.index()]

@@ -110,9 +110,9 @@ fn primary_children(dag: &JobDag, alpha: &[f64]) -> Vec<Option<StageId>> {
         .map(|i| {
             let s = StageId(i as u32);
             dag.children_of(s).max_by(|&a, &b| {
+                // total_cmp: a NaN weight must not panic the scheduler.
                 longest[a.index()]
-                    .partial_cmp(&longest[b.index()])
-                    .unwrap()
+                    .total_cmp(&longest[b.index()])
                     .then(b.cmp(&a)) // tie → smaller id
             })
         })
@@ -246,10 +246,12 @@ pub fn round_dops_largest_remainder(fractional: &[f64], c: u32) -> Vec<u32> {
     }
     // Stages sorted by descending remainder, ties toward smaller index.
     let mut order: Vec<usize> = (0..dop.len()).collect();
-    order.sort_by(|&a, &b| {
+    order.sort_unstable_by(|&a, &b| {
         let ra = fractional[a] - fractional[a].floor();
         let rb = fractional[b] - fractional[b].floor();
-        rb.partial_cmp(&ra).unwrap().then(a.cmp(&b))
+        // total_cmp: a NaN remainder must not panic; index tie-break keeps
+        // the comparator total, so the unstable sort is deterministic.
+        rb.total_cmp(&ra).then(a.cmp(&b))
     });
     let mut i = 0;
     while sum < c {

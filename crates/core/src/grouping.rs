@@ -1,18 +1,44 @@
 //! Stage groups and the greedy grouping order (paper §4.3, Algorithm 2).
 
 use crate::objective::Objective;
-use ditto_dag::paths::{critical_path, DagWeights};
+use ditto_dag::paths::{CriticalPathCache, DagWeights};
 use ditto_dag::{EdgeId, JobDag, StageId};
 use ditto_timemodel::JobTimeModel;
+
+/// One undone-able union step (see [`StageGroups::rollback_to`]).
+#[derive(Debug, Clone)]
+struct UndoEntry {
+    /// The root that was attached under `parent`.
+    child: u32,
+    /// The surviving tree root.
+    parent: u32,
+    /// Whether the union incremented `parent`'s rank.
+    rank_bumped: bool,
+    /// `parent`'s canonical (smallest-id) member before the union.
+    old_min: u32,
+}
 
 /// A union-find over stages tracking which stages share a group.
 ///
 /// The *stage group* is Ditto's scheduling granularity: all tasks of all
 /// stages in a group are placed on the same server so intermediate data
 /// moves through zero-copy shared memory.
+///
+/// Internally this is a union-by-rank forest with an undo log, so the joint
+/// optimizer can trial a merge and [`StageGroups::rollback_to`] it in O(1)
+/// instead of cloning the whole structure per candidate. The tree root is
+/// an internal detail; the *public* representative returned by
+/// [`StageGroups::find`] is always the smallest stage id in the group
+/// (tracked per root), preserving the original deterministic contract.
+/// Path compression runs only on committed state ([`StageGroups::commit`]),
+/// never mid-trial — compressed pointers must not cross an undone union.
 #[derive(Debug, Clone)]
 pub struct StageGroups {
     parent: Vec<u32>,
+    rank: Vec<u8>,
+    /// Smallest stage id in the set, valid at root indices.
+    min_of_root: Vec<u32>,
+    undo: Vec<UndoEntry>,
 }
 
 impl StageGroups {
@@ -20,31 +46,94 @@ impl StageGroups {
     pub fn singletons(n_stages: usize) -> Self {
         StageGroups {
             parent: (0..n_stages as u32).collect(),
+            rank: vec![0; n_stages],
+            min_of_root: (0..n_stages as u32).collect(),
+            undo: Vec::new(),
         }
     }
 
-    /// Group representative of a stage.
-    pub fn find(&self, s: StageId) -> StageId {
+    /// Internal tree root of a stage's set. Never mutates (rollback-safe).
+    pub(crate) fn root_of(&self, s: StageId) -> u32 {
         let mut x = s.0;
         while self.parent[x as usize] != x {
             x = self.parent[x as usize];
         }
-        StageId(x)
+        x
     }
 
-    /// Merge the groups of two stages.
+    /// Group representative of a stage: the smallest stage id in its group.
+    pub fn find(&self, s: StageId) -> StageId {
+        StageId(self.min_of_root[self.root_of(s) as usize])
+    }
+
+    /// Merge the groups of two stages. The group representative stays the
+    /// smallest member id regardless of which tree root survives.
     pub fn union(&mut self, a: StageId, b: StageId) {
-        let (ra, rb) = (self.find(a), self.find(b));
-        if ra != rb {
-            // Deterministic: smaller id becomes the representative.
-            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
-            self.parent[hi.index()] = lo.0;
+        let (ra, rb) = (self.root_of(a), self.root_of(b));
+        if ra == rb {
+            return;
+        }
+        let (child, parent) = if self.rank[ra as usize] < self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        let rank_bumped = self.rank[child as usize] == self.rank[parent as usize];
+        if rank_bumped {
+            self.rank[parent as usize] += 1;
+        }
+        self.undo.push(UndoEntry {
+            child,
+            parent,
+            rank_bumped,
+            old_min: self.min_of_root[parent as usize],
+        });
+        self.parent[child as usize] = parent;
+        let child_min = self.min_of_root[child as usize];
+        if child_min < self.min_of_root[parent as usize] {
+            self.min_of_root[parent as usize] = child_min;
+        }
+    }
+
+    /// A token for the current union-log position; pass to
+    /// [`StageGroups::rollback_to`] to undo every union made after it.
+    pub fn checkpoint(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Undo every union made after `token` (from [`StageGroups::checkpoint`]),
+    /// in reverse order. O(1) per undone union.
+    pub fn rollback_to(&mut self, token: usize) {
+        while self.undo.len() > token {
+            let e = self.undo.pop().expect("len > token");
+            self.parent[e.child as usize] = e.child;
+            if e.rank_bumped {
+                self.rank[e.parent as usize] -= 1;
+            }
+            self.min_of_root[e.parent as usize] = e.old_min;
+        }
+    }
+
+    /// Accept all unions made so far: clears the undo log and fully
+    /// path-compresses the forest (every stage points straight at its tree
+    /// root), so subsequent [`StageGroups::find`]s are O(1). Compression is
+    /// only safe here — with an empty log there is nothing left to undo.
+    pub fn commit(&mut self) {
+        self.undo.clear();
+        for i in 0..self.parent.len() {
+            let root = self.root_of(StageId(i as u32));
+            let mut x = i as u32;
+            while self.parent[x as usize] != root {
+                let next = self.parent[x as usize];
+                self.parent[x as usize] = root;
+                x = next;
+            }
         }
     }
 
     /// `true` if the two stages share a group.
     pub fn same_group(&self, a: StageId, b: StageId) -> bool {
-        self.find(a) == self.find(b)
+        self.root_of(a) == self.root_of(b)
     }
 
     /// Per-edge co-location mask: `mask[EdgeId]` is `true` iff the edge's
@@ -80,6 +169,123 @@ impl StageGroups {
     }
 }
 
+/// Delta-maintained co-location state alongside a [`StageGroups`]: the
+/// per-edge mask, its bit-packed fingerprint (the `compute_dop` memo key),
+/// and per-tree-root incident-edge and member lists. On a trial union only
+/// edges incident to the two merged groups can flip, so a trial costs
+/// O(smaller group's incident edges) instead of O(E), and reverting costs
+/// O(flips).
+#[derive(Debug, Clone)]
+pub struct ColocationIndex {
+    mask: Vec<bool>,
+    words: Vec<u64>,
+    /// Incident edges per DSU tree root (an internal edge may appear twice
+    /// after its endpoints' lists merge; the mask check skips duplicates).
+    edges_of: Vec<Vec<EdgeId>>,
+    /// Stage ids per DSU tree root.
+    members_of: Vec<Vec<u32>>,
+}
+
+impl ColocationIndex {
+    /// Build the index for the current state of `groups`.
+    pub fn new(dag: &JobDag, groups: &StageGroups) -> Self {
+        let n = dag.num_stages();
+        let ne = dag.num_edges();
+        let mut edges_of: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+        let mut members_of: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for i in 0..n {
+            members_of[groups.root_of(StageId(i as u32)) as usize].push(i as u32);
+        }
+        let mut mask = vec![false; ne];
+        let mut words = vec![0u64; ne.div_ceil(64)];
+        for e in dag.edges() {
+            let (ra, rb) = (groups.root_of(e.src), groups.root_of(e.dst));
+            edges_of[ra as usize].push(e.id);
+            if ra == rb {
+                mask[e.id.index()] = true;
+                words[e.id.index() / 64] |= 1 << (e.id.index() % 64);
+            } else {
+                edges_of[rb as usize].push(e.id);
+            }
+        }
+        ColocationIndex { mask, words, edges_of, members_of }
+    }
+
+    /// The co-location mask (aligned with `dag.edges()`).
+    pub fn mask(&self) -> &[bool] {
+        &self.mask
+    }
+
+    /// Bit-packed mask fingerprint (bit `e` set iff `mask[e]`), the compact
+    /// memo key for `compute_dop` results.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Stages of the group rooted (in DSU-tree terms) at `root`.
+    pub fn members(&self, root: u32) -> &[u32] {
+        &self.members_of[root as usize]
+    }
+
+    /// Incident edges of the group rooted at `root` (may contain internal
+    /// duplicates; filter by mask).
+    pub fn edges_touching(&self, root: u32) -> &[EdgeId] {
+        &self.edges_of[root as usize]
+    }
+
+    /// After `groups.union(...)` merged the trees rooted at `ra` and `rb`,
+    /// flip every edge that just became internal, appending each to
+    /// `flipped` (for [`ColocationIndex::revert`]). Scans only the smaller
+    /// group's incident-edge list. Does *not* merge the per-root lists —
+    /// that happens at [`ColocationIndex::merge_committed`] so a rollback
+    /// stays O(flips).
+    pub fn apply_union(
+        &mut self,
+        dag: &JobDag,
+        groups: &StageGroups,
+        ra: u32,
+        rb: u32,
+        flipped: &mut Vec<EdgeId>,
+    ) {
+        let small = if self.edges_of[ra as usize].len() <= self.edges_of[rb as usize].len() {
+            ra
+        } else {
+            rb
+        };
+        let list = std::mem::take(&mut self.edges_of[small as usize]);
+        for &e in &list {
+            if !self.mask[e.index()] {
+                let edge = dag.edge(e);
+                if groups.same_group(edge.src, edge.dst) {
+                    self.mask[e.index()] = true;
+                    self.words[e.index() / 64] ^= 1 << (e.index() % 64);
+                    flipped.push(e);
+                }
+            }
+        }
+        self.edges_of[small as usize] = list;
+    }
+
+    /// Undo [`ColocationIndex::apply_union`]: clear exactly the flipped
+    /// edges.
+    pub fn revert(&mut self, flipped: &[EdgeId]) {
+        for &e in flipped {
+            self.mask[e.index()] = false;
+            self.words[e.index() / 64] ^= 1 << (e.index() % 64);
+        }
+    }
+
+    /// After a trial union is accepted and `groups.commit()` ran, fold the
+    /// absorbed root's edge and member lists into the surviving root's.
+    pub fn merge_committed(&mut self, surviving: u32, absorbed: u32) {
+        debug_assert_ne!(surviving, absorbed);
+        let es = std::mem::take(&mut self.edges_of[absorbed as usize]);
+        self.edges_of[surviving as usize].extend(es);
+        let ms = std::mem::take(&mut self.members_of[absorbed as usize]);
+        self.members_of[surviving as usize].extend(ms);
+    }
+}
+
 /// Grouping weights for the current DoP configuration (§4.3):
 ///
 /// * JCT: node weight `C(sᵢ)`, edge weight `W(sᵢ) + R(sⱼ)`;
@@ -95,6 +301,22 @@ pub fn grouping_weights(
     objective: Objective,
 ) -> DagWeights {
     let mut w = DagWeights::zeros(dag);
+    grouping_weights_into(dag, model, dop, colocated, objective, &mut w);
+    w
+}
+
+/// [`grouping_weights`] writing into an existing buffer (must be sized for
+/// `dag`), so hot loops can reuse the allocation.
+pub fn grouping_weights_into(
+    dag: &JobDag,
+    model: &JobTimeModel,
+    dop: &[u32],
+    colocated: &[bool],
+    objective: Objective,
+    w: &mut DagWeights,
+) {
+    debug_assert_eq!(w.node.len(), dag.num_stages());
+    debug_assert_eq!(w.edge.len(), dag.num_edges());
     for s in dag.stages() {
         let d = dop[s.id.index()].max(1) as f64;
         let c = model.compute_time(s.id, d);
@@ -105,7 +327,8 @@ pub fn grouping_weights(
     }
     for e in dag.edges() {
         if colocated[e.id.index()] {
-            continue; // zero weight
+            w.edge[e.id.index()] = 0.0;
+            continue;
         }
         let io = model.edge_io(e.id);
         let d_src = dop[e.src.index()].max(1) as f64;
@@ -119,7 +342,23 @@ pub fn grouping_weights(
             }
         };
     }
-    w
+}
+
+/// Sort edge ids by descending weight, ties toward the smaller id. The id
+/// tie-break makes the comparator total (no two elements compare equal), so
+/// the unstable sort is deterministic; `total_cmp` keeps a NaN weight from
+/// panicking the scheduler. Shared by the cost-objective grouping order and
+/// the `GlobalDescending` ablation policy.
+pub fn sort_edges_by_weight_desc(edges: &mut [EdgeId], w: &DagWeights) {
+    edges.sort_unstable_by(|&a, &b| {
+        w.edge[b.index()].total_cmp(&w.edge[a.index()]).then(a.cmp(&b))
+    });
+}
+
+/// `max_by` comparator selecting the heaviest edge, smallest id on weight
+/// ties (`.then(b.cmp(&a))` makes the *smaller* id compare greater).
+pub(crate) fn heavier_edge(w: &DagWeights, a: EdgeId, b: EdgeId) -> std::cmp::Ordering {
+    w.edge[a.index()].total_cmp(&w.edge[b.index()]).then(b.cmp(&a))
 }
 
 /// The greedy grouping *order*: the sequence in which Algorithm 2 traverses
@@ -137,51 +376,40 @@ pub fn greedy_group_order(
     objective: Objective,
 ) -> Vec<EdgeId> {
     let mut w = grouping_weights(dag, model, dop, colocated, objective);
-    let mut remaining: Vec<EdgeId> = dag.edges().iter().map(|e| e.id).collect();
-    let mut order = Vec::with_capacity(remaining.len());
+    let ne = dag.num_edges();
+    let mut order: Vec<EdgeId> = dag.edges().iter().map(|e| e.id).collect();
 
     match objective {
         Objective::Cost => {
-            // Global descending weight; ties by edge id for determinism.
-            remaining.sort_by(|&a, &b| {
-                w.edge[b.index()]
-                    .partial_cmp(&w.edge[a.index()])
-                    .unwrap()
-                    .then(a.cmp(&b))
-            });
-            order = remaining;
+            sort_edges_by_weight_desc(&mut order, &w);
         }
         Objective::Jct => {
-            while !remaining.is_empty() {
-                let cp = critical_path(dag, &w);
+            order.clear();
+            // Bitset membership instead of O(E) `contains`/`retain` scans.
+            let mut remaining = vec![true; ne];
+            let mut remaining_count = ne;
+            let mut cache = CriticalPathCache::new(dag);
+            while remaining_count > 0 {
+                let cp = cache.critical_path(dag, &w);
                 // Heaviest not-yet-ordered edge on the critical path.
                 let pick = cp
                     .edges
                     .iter()
                     .copied()
-                    .filter(|e| remaining.contains(e))
-                    .max_by(|&a, &b| {
-                        w.edge[a.index()]
-                            .partial_cmp(&w.edge[b.index()])
-                            .unwrap()
-                            .then(b.cmp(&a))
-                    });
+                    .filter(|e| remaining[e.index()])
+                    .max_by(|&a, &b| heavier_edge(&w, a, b));
                 // Fall back to the globally heaviest remaining edge when the
                 // critical path is fully grouped already.
                 let pick = pick.unwrap_or_else(|| {
-                    remaining
-                        .iter()
-                        .copied()
-                        .max_by(|&a, &b| {
-                            w.edge[a.index()]
-                                .partial_cmp(&w.edge[b.index()])
-                                .unwrap()
-                                .then(b.cmp(&a))
-                        })
-                        .unwrap()
+                    (0..ne)
+                        .map(|i| EdgeId(i as u32))
+                        .filter(|e| remaining[e.index()])
+                        .max_by(|&a, &b| heavier_edge(&w, a, b))
+                        .expect("remaining_count > 0")
                 });
                 w.edge[pick.index()] = 0.0; // re-profile: ω(e) ← 0
-                remaining.retain(|&e| e != pick);
+                remaining[pick.index()] = false;
+                remaining_count -= 1;
                 order.push(pick);
             }
         }
@@ -216,6 +444,98 @@ mod tests {
         assert_eq!(g.colocation_mask(&dag), vec![false, false]);
         g.union(StageId(0), StageId(2)); // map1 with join
         assert_eq!(g.colocation_mask(&dag), vec![true, false]);
+    }
+
+    #[test]
+    fn rollback_undoes_unions_exactly() {
+        let mut g = StageGroups::singletons(6);
+        g.union(StageId(4), StageId(5));
+        let before = g.groups(6);
+        let token = g.checkpoint();
+        g.union(StageId(0), StageId(1));
+        g.union(StageId(1), StageId(4));
+        assert!(g.same_group(StageId(0), StageId(5)));
+        g.rollback_to(token);
+        assert_eq!(g.groups(6), before);
+        assert!(!g.same_group(StageId(0), StageId(1)));
+        assert!(g.same_group(StageId(4), StageId(5)));
+        assert_eq!(g.find(StageId(5)), StageId(4));
+    }
+
+    /// Path compression (on commit) must preserve the smallest-id
+    /// representative contract: `find`, `groups` and `group_of` are
+    /// identical before and after compression, under any union order.
+    #[test]
+    fn path_compression_preserves_smallest_id_representative() {
+        let n = 32usize;
+        // A deterministic, adversarial-ish union order: larger ids first,
+        // chains, then cross-links.
+        let pairs: Vec<(u32, u32)> = (0..14)
+            .map(|i| (31 - i, 17 - i))
+            .chain([(0, 31), (16, 2), (9, 25)])
+            .collect();
+        let mut compressed = StageGroups::singletons(n);
+        let mut plain = StageGroups::singletons(n);
+        for &(a, b) in &pairs {
+            compressed.union(StageId(a), StageId(b));
+            compressed.commit(); // compress after every accepted union
+            plain.union(StageId(a), StageId(b));
+            for i in 0..n as u32 {
+                assert_eq!(
+                    compressed.find(StageId(i)),
+                    plain.find(StageId(i)),
+                    "stage {i} after union ({a},{b})"
+                );
+            }
+        }
+        // Every representative is its group's smallest member.
+        for g in compressed.groups(n) {
+            let rep = compressed.find(g[0]);
+            assert_eq!(rep, *g.iter().min().unwrap());
+            assert!(g.contains(&rep));
+        }
+        assert_eq!(compressed.groups(n), plain.groups(n));
+        assert_eq!(compressed.group_of(n), plain.group_of(n));
+    }
+
+    #[test]
+    fn colocation_index_tracks_mask_incrementally() {
+        let dag = ditto_dag::generators::q95_shape();
+        let mut g = StageGroups::singletons(dag.num_stages());
+        let mut idx = ColocationIndex::new(&dag, &g);
+        assert_eq!(idx.mask(), g.colocation_mask(&dag).as_slice());
+        let mut flips = Vec::new();
+        // Trial a union, check the delta, revert, check we're back.
+        let e = dag.edges()[0].clone();
+        let (ra, rb) = (g.root_of(e.src), g.root_of(e.dst));
+        let token = g.checkpoint();
+        g.union(e.src, e.dst);
+        idx.apply_union(&dag, &g, ra, rb, &mut flips);
+        assert_eq!(idx.mask(), g.colocation_mask(&dag).as_slice());
+        assert!(flips.contains(&e.id));
+        idx.revert(&flips);
+        g.rollback_to(token);
+        assert_eq!(idx.mask(), g.colocation_mask(&dag).as_slice());
+        assert!(idx.words().iter().all(|&w| w == 0));
+        // Commit a few unions and keep the index in sync.
+        for e in dag.edges().iter().take(4) {
+            let (ra, rb) = (g.root_of(e.src), g.root_of(e.dst));
+            if ra == rb {
+                continue;
+            }
+            flips.clear();
+            g.union(e.src, e.dst);
+            idx.apply_union(&dag, &g, ra, rb, &mut flips);
+            g.commit();
+            let surviving = g.root_of(e.src);
+            let absorbed = if surviving == ra { rb } else { ra };
+            idx.merge_committed(surviving, absorbed);
+            assert_eq!(idx.mask(), g.colocation_mask(&dag).as_slice());
+        }
+        // Fingerprint bits mirror the mask.
+        for (i, &m) in idx.mask().iter().enumerate() {
+            assert_eq!(idx.words()[i / 64] >> (i % 64) & 1 == 1, m);
+        }
     }
 
     /// Reproduces the paper's Fig. 6a: single path, traverse edges in
@@ -265,10 +585,12 @@ mod tests {
             .edge("b2", "sink", EdgeKind::Shuffle, b(40.0)) // e3: 80
             .build()
             .unwrap();
-        let mut cfg = RateConfig::default();
-        cfg.io_beta = 0.0;
-        cfg.compute_beta = 0.0;
-        cfg.straggler_scale = 1.0;
+        let cfg = RateConfig {
+            io_beta: 0.0,
+            compute_beta: 0.0,
+            straggler_scale: 1.0,
+            ..RateConfig::default()
+        };
         let model = JobTimeModel::from_rates(&dag, &cfg);
         let dop = vec![1; 5];
         let colocated = vec![false; 4];

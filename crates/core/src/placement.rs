@@ -17,7 +17,7 @@
 //! Placement failure makes the joint optimizer backtrack the grouping that
 //! caused it (Algorithm 3).
 
-use crate::grouping::StageGroups;
+use crate::grouping::{ColocationIndex, StageGroups};
 use crate::schedule::TaskPlacement;
 use ditto_cluster::{ResourceManager, ServerId};
 use ditto_dag::{EdgeKind, JobDag, StageId};
@@ -179,6 +179,148 @@ pub fn can_place_with(
     Some(PlacementPlan {
         stage_placement: placement.into_iter().map(|p| p.expect("all stages placed")).collect(),
     })
+}
+
+/// Reusable buffers for [`placement_verdict`], so the joint optimizer's
+/// candidate loop evaluates placements without per-trial allocation.
+#[derive(Debug, Clone)]
+pub struct PlacementScratch {
+    rm: ResourceManager,
+    /// `(req, min_id, root, is_merged_trial_group)` per multi-stage group.
+    multi: Vec<(u32, u32, u32, bool)>,
+}
+
+impl PlacementScratch {
+    /// Scratch sized for the cluster snapshot `rm`.
+    pub fn new(rm: &ResourceManager) -> Self {
+        PlacementScratch {
+            rm: rm.clone(),
+            multi: Vec::new(),
+        }
+    }
+}
+
+/// Allocation-free equivalent of `can_place_with(dag, …).is_some()` for the
+/// joint optimizer's trial loop, driven by the delta-maintained
+/// [`ColocationIndex`] instead of materialized group lists.
+///
+/// `multi_roots` are the committed multi-stage groups' DSU tree roots;
+/// `merged` names the two pre-union roots of the trial merge (their member /
+/// edge lists are still unfolded — they are skipped in `multi_roots` and
+/// evaluated as one combined group). `sum_dop` is `Σ dop` over all stages.
+///
+/// Equivalence to the full check, phase by phase:
+/// * multi-stage groups are visited in the same `(demand desc, min id)`
+///   order with real reservations on a scratch manager, so best/first/worst
+///   fit and gather decomposition behave identically (chunk sums are
+///   member-order-independent);
+/// * the singleton phase reduces to `remaining free ≥ Σ singleton DoPs`:
+///   `ResourceManager::reserve_spread(n)` fails iff fewer than `n` slots
+///   remain in total and otherwise consumes exactly `n`, so the sequence of
+///   per-singleton spreads succeeds iff the aggregate inequality holds.
+#[allow(clippy::too_many_arguments)]
+pub fn placement_verdict(
+    dag: &JobDag,
+    dop: &[u32],
+    sum_dop: u32,
+    index: &ColocationIndex,
+    multi_roots: &[u32],
+    merged: Option<(u32, u32)>,
+    base: &ResourceManager,
+    scratch: &mut PlacementScratch,
+    allow_gather_decomposition: bool,
+    strategy: FitStrategy,
+) -> bool {
+    scratch.rm.copy_free_from(base);
+    scratch.multi.clear();
+    let mut multi_req_total = 0u32;
+    for &r in multi_roots {
+        if let Some((ra, rb)) = merged {
+            if r == ra || r == rb {
+                continue;
+            }
+        }
+        let (mut req, mut min_id) = (0u32, u32::MAX);
+        for &m in index.members(r) {
+            req += dop[m as usize];
+            min_id = min_id.min(m);
+        }
+        scratch.multi.push((req, min_id, r, false));
+        multi_req_total += req;
+    }
+    if let Some((ra, rb)) = merged {
+        let (mut req, mut min_id) = (0u32, u32::MAX);
+        for &m in index.members(ra).iter().chain(index.members(rb)) {
+            req += dop[m as usize];
+            min_id = min_id.min(m);
+        }
+        scratch.multi.push((req, min_id, ra, true));
+        multi_req_total += req;
+    }
+    // Same order as `can_place_with`: descending demand, ties by the
+    // group's smallest stage id (unique per group → total order).
+    let mut multi = std::mem::take(&mut scratch.multi);
+    multi.sort_unstable_by_key(|&(req, min_id, ..)| (std::cmp::Reverse(req), min_id));
+
+    let mut ok = true;
+    'groups: for &(req, _, root, is_merged) in &multi {
+        if reserve_fit(&mut scratch.rm, req, strategy).is_some() {
+            continue;
+        }
+        // Whole-group placement failed; mirror the gather-decomposition
+        // fallback. Internal edges of the group are exactly the mask-true
+        // edges on its incident lists (possibly duplicated — harmless).
+        let (ra, rb) = if is_merged {
+            (root, merged.expect("is_merged implies merged roots").1)
+        } else {
+            (root, root)
+        };
+        let internal_all_gather = index
+            .edges_touching(ra)
+            .iter()
+            .chain(if is_merged { index.edges_touching(rb) } else { &[] })
+            .filter(|e| index.mask()[e.index()])
+            .all(|&e| dag.edge(e).kind == EdgeKind::Gather);
+        if !(allow_gather_decomposition && internal_all_gather) {
+            ok = false;
+            break;
+        }
+        let members = || {
+            index
+                .members(ra)
+                .iter()
+                .chain(if is_merged { index.members(rb) } else { &[] })
+                .copied()
+        };
+        let min_dop = members().map(|m| dop[m as usize]).min().unwrap_or(0);
+        let max_free = scratch.rm.max_free();
+        if max_free == 0 || min_dop == 0 {
+            ok = false;
+            break;
+        }
+        let k = req.div_ceil(max_free);
+        if k > min_dop {
+            ok = false;
+            break;
+        }
+        for c in 0..k {
+            // Aligned chunk `c`'s total demand: Σ ⌈dop/k⌉-style pieces
+            // (`chunk_dop` without the allocation).
+            let piece: u32 = members()
+                .map(|m| {
+                    let d = dop[m as usize];
+                    d / k + u32::from(c < d % k)
+                })
+                .sum();
+            if reserve_fit(&mut scratch.rm, piece, strategy).is_none() {
+                ok = false;
+                break 'groups;
+            }
+        }
+    }
+    scratch.multi = multi;
+    scratch.multi.clear();
+    ok && scratch.rm.total_free() >= sum_dop - multi_req_total
 }
 
 #[cfg(test)]

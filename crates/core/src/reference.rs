@@ -1,0 +1,242 @@
+//! The pre-incremental joint optimizer, kept verbatim as the equivalence
+//! oracle and benchmark baseline.
+//!
+//! [`joint_optimize_reference`] is Algorithm 3 exactly as first
+//! implemented: every candidate edge clones the union-find, rebuilds the
+//! full co-location mask, recomputes every stage DoP from scratch and runs
+//! a from-scratch placement check, while the greedy order is fully
+//! re-derived each round. That is O(rounds × E × (V + E)) and worse — fine
+//! for unit-scale DAGs, quadratic-to-cubic pain at hundreds of stages. The
+//! incremental rewrite in [`crate::joint`] must produce **bit-identical**
+//! schedules; the property tests in `core/tests/joint_equivalence.rs` and
+//! the `sched_bench` suite hold it to that.
+
+use crate::dop::compute_dop;
+use crate::grouping::{greedy_group_order, sort_edges_by_weight_desc, StageGroups};
+use crate::joint::{GroupOrderPolicy, JointOptions, JointStats};
+use crate::objective::Objective;
+use crate::placement::can_place_with;
+use crate::schedule::Schedule;
+use ditto_cluster::ResourceManager;
+use ditto_dag::{EdgeId, JobDag};
+use ditto_obs::{Recorder, SpanId, Track};
+use ditto_timemodel::JobTimeModel;
+
+/// The original from-scratch Algorithm 3 (see module docs). Identical
+/// output to [`crate::joint_optimize`], at the original cost.
+pub fn joint_optimize_reference(
+    dag: &JobDag,
+    model: &JobTimeModel,
+    rm: &ResourceManager,
+    objective: Objective,
+    opts: &JointOptions,
+) -> Schedule {
+    joint_optimize_reference_traced(dag, model, rm, objective, opts, &Recorder::disabled())
+}
+
+/// [`joint_optimize_reference`] with telemetry (same span/event shape as
+/// [`crate::joint_optimize_traced`]).
+pub fn joint_optimize_reference_traced(
+    dag: &JobDag,
+    model: &JobTimeModel,
+    rm: &ResourceManager,
+    objective: Objective,
+    opts: &JointOptions,
+    obs: &Recorder,
+) -> Schedule {
+    joint_optimize_reference_with_stats(dag, model, rm, objective, opts, obs).0
+}
+
+/// [`joint_optimize_reference_traced`] also reporting loop statistics
+/// (candidate evaluations, rounds, commits) for the scheduler benchmarks.
+pub fn joint_optimize_reference_with_stats(
+    dag: &JobDag,
+    model: &JobTimeModel,
+    rm: &ResourceManager,
+    objective: Objective,
+    opts: &JointOptions,
+    obs: &Recorder,
+) -> (Schedule, JointStats) {
+    let c = rm.total_free();
+    let n = dag.num_stages();
+    let mut stats = JointStats::default();
+
+    obs.name_track(Track::SCHEDULER_GROUP, "scheduler");
+    let run_span = obs.begin(
+        "sched.joint",
+        Track::scheduler(0),
+        obs.wall_now(),
+        SpanId::NONE,
+        vec![
+            ("objective", objective.to_string().into()),
+            ("stages", (n as u64).into()),
+            ("edges", (dag.edges().len() as u64).into()),
+            ("free_slots", (c as u64).into()),
+        ],
+    );
+
+    let mut groups = StageGroups::singletons(n);
+    let mut colocated = groups.colocation_mask(dag);
+    let dop_span = obs.begin(
+        "sched.dop_ratio",
+        Track::scheduler(1),
+        obs.wall_now(),
+        run_span,
+        vec![],
+    );
+    let mut assignment = compute_dop(dag, model, &colocated, objective, c.max(1));
+    obs.end(dop_span, obs.wall_now());
+    assert!(
+        can_place_with(dag, &assignment.dop, &groups, rm, opts.gather_decomposition, opts.fit_strategy).is_some(),
+        "ungrouped baseline configuration must be placeable (C={c}, stages={n})"
+    );
+
+    let mut ungrouped: Vec<EdgeId> = dag.edges().iter().map(|e| e.id).collect();
+    let mut iterations = 0usize;
+    while !ungrouped.is_empty() && iterations < opts.max_iterations {
+        iterations += 1;
+        let round_span = obs.begin(
+            "sched.round",
+            Track::scheduler(1),
+            obs.wall_now(),
+            run_span,
+            vec![
+                ("iteration", (iterations as u64).into()),
+                ("ungrouped", (ungrouped.len() as u64).into()),
+            ],
+        );
+        // Re-derive the edge order under the current DoPs and mask, then
+        // keep only still-ungrouped edges (ω of grouped edges is 0 anyway).
+        let raw_order: Vec<EdgeId> = match opts.order_policy {
+            GroupOrderPolicy::Greedy => {
+                greedy_group_order(dag, model, &assignment.dop, &colocated, objective)
+            }
+            GroupOrderPolicy::GlobalDescending => {
+                // Descending by the objective's edge weight, ignoring the
+                // critical path.
+                let w = crate::grouping::grouping_weights(
+                    dag,
+                    model,
+                    &assignment.dop,
+                    &colocated,
+                    objective,
+                );
+                let mut v: Vec<EdgeId> = dag.edges().iter().map(|e| e.id).collect();
+                sort_edges_by_weight_desc(&mut v, &w);
+                v
+            }
+            GroupOrderPolicy::Random(seed) => {
+                use rand::seq::SliceRandom;
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let mut v: Vec<EdgeId> = dag.edges().iter().map(|e| e.id).collect();
+                v.shuffle(&mut rng);
+                v
+            }
+        };
+        let order: Vec<EdgeId> = raw_order
+            .into_iter()
+            .filter(|e| ungrouped.contains(e))
+            .collect();
+
+        let mut committed = None;
+        for e in order {
+            let edge = dag.edge(e);
+            stats.candidates += 1;
+            // Tentatively group sᵢ and sⱼ (merging their whole groups).
+            let mut trial_groups = groups.clone();
+            trial_groups.union(edge.src, edge.dst);
+            let trial_mask = trial_groups.colocation_mask(dag);
+            let trial_assignment = compute_dop(dag, model, &trial_mask, objective, c.max(1));
+            let placeable = can_place_with(
+                dag,
+                &trial_assignment.dop,
+                &trial_groups,
+                rm,
+                opts.gather_decomposition,
+                opts.fit_strategy,
+            )
+            .is_some();
+            if obs.is_enabled() {
+                obs.event(
+                    "sched.merge",
+                    Track::scheduler(1),
+                    obs.wall_now(),
+                    vec![
+                        ("edge", (e.index() as u64).into()),
+                        ("src", (edge.src.index() as u64).into()),
+                        ("dst", (edge.dst.index() as u64).into()),
+                        ("src_alpha", model.stage_alpha(dag, edge.src, &trial_mask).into()),
+                        ("src_beta", model.stage_beta(dag, edge.src, &trial_mask).into()),
+                        ("dst_alpha", model.stage_alpha(dag, edge.dst, &trial_mask).into()),
+                        ("dst_beta", model.stage_beta(dag, edge.dst, &trial_mask).into()),
+                        ("verdict", if placeable { "accept" } else { "reject" }.into()),
+                    ],
+                );
+            }
+            if placeable {
+                groups = trial_groups;
+                colocated = trial_mask;
+                assignment = trial_assignment;
+                committed = Some(e);
+                break;
+            }
+            // else: undo (nothing was mutated) and try the next edge.
+        }
+        obs.end(round_span, obs.wall_now());
+        match committed {
+            Some(e) => {
+                stats.commits += 1;
+                ungrouped.retain(|&x| x != e);
+                obs.event(
+                    "sched.commit",
+                    Track::scheduler(0),
+                    obs.wall_now(),
+                    vec![
+                        ("iteration", (iterations as u64).into()),
+                        ("edge", (e.index() as u64).into()),
+                    ],
+                );
+            }
+            None => break, // no edge in E_u groupable → done
+        }
+    }
+    stats.rounds = iterations;
+
+    let place_span = obs.begin(
+        "sched.placement",
+        Track::scheduler(1),
+        obs.wall_now(),
+        run_span,
+        vec![],
+    );
+    let plan = can_place_with(
+        dag,
+        &assignment.dop,
+        &groups,
+        rm,
+        opts.gather_decomposition,
+        opts.fit_strategy,
+    )
+    .expect("committed configuration was verified placeable");
+    obs.end(place_span, obs.wall_now());
+    // An edge is effectively colocated only when both endpoints ended on
+    // the same server set; group membership is exactly that by
+    // construction (groups place wholly on one server, or into aligned
+    // gather chunks).
+    let schedule = Schedule {
+        scheduler: format!("ditto-{objective}"),
+        dop: assignment.dop,
+        group_of: groups.group_of(n),
+        groups: groups.groups(n),
+        colocated,
+        placement: plan.stage_placement,
+    };
+    if obs.is_enabled() {
+        obs.gauge_set("sched.groups", "", schedule.groups.len() as f64);
+        obs.gauge_set("sched.slots", "", schedule.total_slots() as f64);
+        obs.gauge_set("sched.iterations", "", iterations as f64);
+    }
+    obs.end(run_span, obs.wall_now());
+    (schedule, stats)
+}

@@ -1,0 +1,181 @@
+//! Equivalence oracle: the incremental joint optimizer must produce
+//! **bit-identical** schedules to the preserved from-scratch reference
+//! implementation, across random DAGs, both objectives, every fit
+//! strategy and every order policy.
+//!
+//! This is the contract that lets `joint_optimize` replace the reference
+//! wholesale: same `dop`, same `group_of`/`groups`, same co-location mask,
+//! same placement — not merely the same objective value.
+
+use ditto_cluster::ResourceManager;
+use ditto_core::reference::joint_optimize_reference_with_stats;
+use ditto_core::{
+    joint_optimize_with_stats, FitStrategy, GroupOrderPolicy, JointOptions, Objective,
+};
+use ditto_dag::generators::{random_dag, RandomDagConfig};
+use ditto_obs::Recorder;
+use ditto_timemodel::model::RateConfig;
+use ditto_timemodel::JobTimeModel;
+
+/// Deterministic cluster shapes: roomy, mixed, tight — tight clusters
+/// drive the reject/backtrack path, roomy ones the commit-heavy path.
+fn clusters(seed: u64, stages: usize) -> Vec<Vec<u32>> {
+    let n = stages as u32;
+    vec![
+        vec![4 * n; 4],                                   // roomy
+        vec![2 * n, n, n / 2 + 1, n / 4 + 1, 8],          // mixed
+        vec![(n / 2 + 2).max(4); 3],                      // tight
+        (0..6).map(|i| 4 + ((seed as u32 + i) % 24)).collect(), // jagged
+    ]
+}
+
+#[test]
+fn schedules_are_bit_identical_over_random_dags() {
+    let mut checked = 0usize;
+    for seed in 0..32u64 {
+        let stages = 4 + (seed as usize * 3) % 28; // 4..31 stages
+        let layers = 2 + (seed as usize) % 4;
+        let dag = random_dag(
+            seed,
+            &RandomDagConfig {
+                stages,
+                layers,
+                ..Default::default()
+            },
+        );
+        let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+        for free in clusters(seed, stages) {
+            let rm = ResourceManager::from_free_slots(free);
+            if rm.total_free() < stages as u32 {
+                continue; // unplaceable baseline would panic both paths
+            }
+            for objective in [Objective::Jct, Objective::Cost] {
+                for fit in [FitStrategy::BestFit, FitStrategy::FirstFit] {
+                    let opts = JointOptions {
+                        fit_strategy: fit,
+                        ..JointOptions::default()
+                    };
+                    let (fast, fast_stats) = joint_optimize_with_stats(
+                        &dag,
+                        &model,
+                        &rm,
+                        objective,
+                        &opts,
+                        &Recorder::disabled(),
+                    );
+                    let (slow, slow_stats) = joint_optimize_reference_with_stats(
+                        &dag,
+                        &model,
+                        &rm,
+                        objective,
+                        &opts,
+                        &Recorder::disabled(),
+                    );
+                    let ctx = format!("seed={seed} stages={stages} {objective} {fit:?}");
+                    assert_eq!(fast.dop, slow.dop, "dop diverged: {ctx}");
+                    assert_eq!(fast.group_of, slow.group_of, "group_of diverged: {ctx}");
+                    assert_eq!(fast.groups, slow.groups, "groups diverged: {ctx}");
+                    assert_eq!(fast.colocated, slow.colocated, "mask diverged: {ctx}");
+                    assert_eq!(fast.placement, slow.placement, "placement diverged: {ctx}");
+                    assert_eq!(fast.scheduler, slow.scheduler, "{ctx}");
+                    // The loops must agree on their *shape* too: same
+                    // candidate sequence ⇒ same counts.
+                    assert_eq!(fast_stats.rounds, slow_stats.rounds, "rounds: {ctx}");
+                    assert_eq!(
+                        fast_stats.candidates, slow_stats.candidates,
+                        "candidates: {ctx}"
+                    );
+                    assert_eq!(fast_stats.commits, slow_stats.commits, "commits: {ctx}");
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked >= 32 * 2 * 2, "sweep too small: {checked}");
+}
+
+/// The ablation order policies ride the same incremental machinery; keep
+/// them equivalent as well (fewer seeds — they share the candidate loop).
+#[test]
+fn order_policies_match_reference() {
+    for seed in 0..8u64 {
+        let dag = random_dag(
+            seed,
+            &RandomDagConfig {
+                stages: 12,
+                layers: 3,
+                ..Default::default()
+            },
+        );
+        let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+        let rm = ResourceManager::from_free_slots(vec![24, 18, 12, 9]);
+        for objective in [Objective::Jct, Objective::Cost] {
+            for policy in [GroupOrderPolicy::GlobalDescending, GroupOrderPolicy::Random(seed)] {
+                let opts = JointOptions {
+                    order_policy: policy,
+                    ..JointOptions::default()
+                };
+                let (fast, _) = joint_optimize_with_stats(
+                    &dag,
+                    &model,
+                    &rm,
+                    objective,
+                    &opts,
+                    &Recorder::disabled(),
+                );
+                let (slow, _) = joint_optimize_reference_with_stats(
+                    &dag,
+                    &model,
+                    &rm,
+                    objective,
+                    &opts,
+                    &Recorder::disabled(),
+                );
+                assert_eq!(fast.dop, slow.dop, "seed={seed} {objective} {policy:?}");
+                assert_eq!(fast.group_of, slow.group_of, "seed={seed} {objective} {policy:?}");
+                assert_eq!(fast.placement, slow.placement, "seed={seed} {objective} {policy:?}");
+            }
+        }
+    }
+}
+
+/// Tracing must not change the schedule, and the traced incremental run
+/// emits the same number of `sched.merge` events as the reference (the
+/// candidate sequences are identical).
+#[test]
+fn traced_runs_match_and_emit_identical_event_counts() {
+    let dag = random_dag(11, &RandomDagConfig::default());
+    let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+    let rm = ResourceManager::from_free_slots(vec![32, 16, 8]);
+    for objective in [Objective::Jct, Objective::Cost] {
+        let obs_fast = Recorder::new();
+        let obs_slow = Recorder::new();
+        let (fast, stats) = joint_optimize_with_stats(
+            &dag,
+            &model,
+            &rm,
+            objective,
+            &JointOptions::default(),
+            &obs_fast,
+        );
+        let (slow, _) = joint_optimize_reference_with_stats(
+            &dag,
+            &model,
+            &rm,
+            objective,
+            &JointOptions::default(),
+            &obs_slow,
+        );
+        assert_eq!(fast.placement, slow.placement);
+        let merges = |r: &Recorder| {
+            r.finish()
+                .events
+                .iter()
+                .filter(|e| e.name == "sched.merge")
+                .count()
+        };
+        let (a, b) = (merges(&obs_fast), merges(&obs_slow));
+        assert_eq!(a, b, "{objective}: traced candidate counts diverged");
+        assert_eq!(a, stats.candidates, "{objective}: stats disagree with trace");
+    }
+}

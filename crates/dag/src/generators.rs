@@ -192,6 +192,21 @@ impl Default for RandomDagConfig {
     }
 }
 
+impl RandomDagConfig {
+    /// A configuration scaled for scheduler benchmarks: `stages` stages
+    /// spread over `stages / 8` layers (clamped to [2, 64]) with a sparser
+    /// edge probability, so edge count grows roughly linearly (~2×) with
+    /// stage count instead of quadratically with layer width.
+    pub fn sized(stages: usize) -> Self {
+        RandomDagConfig {
+            stages,
+            edge_prob: 0.1,
+            layers: (stages / 8).clamp(2, 64),
+            max_input_bytes: 4 * GB,
+        }
+    }
+}
+
 /// Seeded random layered DAG generator for property tests. Guarantees a
 /// connected, valid DAG: every non-first-layer stage gets at least one
 /// parent from the previous layer, and every stage with no consumer in a

@@ -228,6 +228,12 @@ impl JobDag {
         self.parents[s.index()].iter().map(|&e| &self.edges[e.index()])
     }
 
+    /// All edges touching `s`: incoming first, then outgoing. A self-loop
+    /// cannot exist (DAG), so each edge appears at most once.
+    pub fn incident_edges(&self, s: StageId) -> impl Iterator<Item = &Edge> + '_ {
+        self.in_edges(s).chain(self.out_edges(s))
+    }
+
     /// Downstream (child) stages of `s`.
     pub fn children_of(&self, s: StageId) -> impl Iterator<Item = StageId> + '_ {
         self.out_edges(s).map(|e| e.dst)

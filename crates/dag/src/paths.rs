@@ -69,56 +69,115 @@ impl Path {
 /// order, O(V + E).
 ///
 /// Ties are broken deterministically toward smaller stage ids.
+///
+/// Allocates a fresh topological order and DP buffers per call; hot loops
+/// that recompute the critical path many times over one DAG should hold a
+/// [`CriticalPathCache`] instead.
 pub fn critical_path(dag: &JobDag, w: &DagWeights) -> Path {
-    let order = dag
-        .topo_order()
-        .expect("critical_path requires an acyclic DAG");
-    // best[s] = max weight of a path ending at s (inclusive of s's node
-    // weight); pred[s] = edge taken into s on that path.
-    let n = dag.num_stages();
-    let mut best = vec![f64::NEG_INFINITY; n];
-    let mut pred: Vec<Option<EdgeId>> = vec![None; n];
-    for &s in &order {
-        let own = w.node_weight(s);
-        let mut b = own; // start of a path
-        let mut p = None;
-        for e in dag.in_edges(s) {
-            let cand = best[e.src.index()] + w.edge_weight(e.id) + own;
-            // Strictly better, or a tie against "start a fresh path here":
-            // prefer the longer path through a parent so zero-weight DAGs
-            // still yield maximal paths (greedy grouping needs edges to
-            // traverse even when all remaining weights are equal).
-            if cand > b + 1e-15 || (p.is_none() && cand >= b - 1e-15) {
-                b = cand;
-                p = Some(e.id);
+    CriticalPathCache::new(dag).critical_path(dag, w)
+}
+
+/// Reusable state for repeated [`critical_path`] computations over one DAG:
+/// the topological order is computed once and the DP buffers are reused, so
+/// each recomputation is a single allocation-free O(V + E) sweep (plus the
+/// returned [`Path`] itself). Produces bit-identical results to
+/// [`critical_path`].
+#[derive(Debug, Clone)]
+pub struct CriticalPathCache {
+    topo: Vec<StageId>,
+    finals: Vec<StageId>,
+    best: Vec<f64>,
+    pred: Vec<Option<EdgeId>>,
+}
+
+impl CriticalPathCache {
+    /// Build the cache for `dag` (computes and stores its topo order).
+    pub fn new(dag: &JobDag) -> Self {
+        let topo = dag
+            .topo_order()
+            .expect("critical_path requires an acyclic DAG");
+        let n = dag.num_stages();
+        CriticalPathCache {
+            topo,
+            finals: dag.final_stages(),
+            best: vec![f64::NEG_INFINITY; n],
+            pred: vec![None; n],
+        }
+    }
+
+    /// The DP sweep: recompute `best`/`pred` under `w` and return the end
+    /// stage of the critical path.
+    fn sweep(&mut self, dag: &JobDag, w: &DagWeights) -> StageId {
+        debug_assert_eq!(self.best.len(), dag.num_stages());
+        // best[s] = max weight of a path ending at s (inclusive of s's node
+        // weight); pred[s] = edge taken into s on that path.
+        let best = &mut self.best;
+        let pred = &mut self.pred;
+        for &s in &self.topo {
+            let own = w.node_weight(s);
+            let mut b = own; // start of a path
+            let mut p = None;
+            for e in dag.in_edges(s) {
+                let cand = best[e.src.index()] + w.edge_weight(e.id) + own;
+                // Strictly better, or a tie against "start a fresh path here":
+                // prefer the longer path through a parent so zero-weight DAGs
+                // still yield maximal paths (greedy grouping needs edges to
+                // traverse even when all remaining weights are equal).
+                if cand > b + 1e-15 || (p.is_none() && cand >= b - 1e-15) {
+                    b = cand;
+                    p = Some(e.id);
+                }
+            }
+            best[s.index()] = b;
+            pred[s.index()] = p;
+        }
+        // Pick the best final stage.
+        let mut end: Option<StageId> = None;
+        for &s in &self.finals {
+            if end.is_none_or(|cur| best[s.index()] > best[cur.index()] + 1e-15) {
+                end = Some(s);
             }
         }
-        best[s.index()] = b;
-        pred[s.index()] = p;
+        end.expect("non-empty DAG has a final stage")
     }
-    // Pick the best final stage.
-    let mut end: Option<StageId> = None;
-    for s in dag.final_stages() {
-        if end.is_none_or(|cur| best[s.index()] > best[cur.index()] + 1e-15) {
-            end = Some(s);
+
+    /// The critical path's *edges only*, written into `out` (cleared first)
+    /// in downstream→upstream order, with no `Path` allocation. For callers
+    /// that reduce over the edge set — like the greedy grouping pick, whose
+    /// heaviest-edge comparator is a total order and therefore
+    /// order-independent.
+    pub fn critical_path_edges_into(&mut self, dag: &JobDag, w: &DagWeights, out: &mut Vec<EdgeId>) {
+        let end = self.sweep(dag, w);
+        out.clear();
+        let mut cur = end;
+        while let Some(e) = self.pred[cur.index()] {
+            out.push(e);
+            cur = dag.edge(e).src;
         }
     }
-    let end = end.expect("non-empty DAG has a final stage");
-    // Reconstruct.
-    let mut stages = vec![end];
-    let mut edges = Vec::new();
-    let mut cur = end;
-    while let Some(e) = pred[cur.index()] {
-        edges.push(e);
-        cur = dag.edge(e).src;
-        stages.push(cur);
-    }
-    stages.reverse();
-    edges.reverse();
-    Path {
-        stages,
-        edges,
-        weight: best[end.index()],
+
+    /// [`critical_path`] using the cached topo order and buffers. The cache
+    /// must have been built for this `dag`.
+    pub fn critical_path(&mut self, dag: &JobDag, w: &DagWeights) -> Path {
+        let end = self.sweep(dag, w);
+        let best = &self.best;
+        let pred = &self.pred;
+        // Reconstruct.
+        let mut stages = vec![end];
+        let mut edges = Vec::new();
+        let mut cur = end;
+        while let Some(e) = pred[cur.index()] {
+            edges.push(e);
+            cur = dag.edge(e).src;
+            stages.push(cur);
+        }
+        stages.reverse();
+        edges.reverse();
+        Path {
+            stages,
+            edges,
+            weight: best[end.index()],
+        }
     }
 }
 
@@ -237,6 +296,29 @@ mod tests {
         for p in &ps {
             assert_eq!(p.stages.len(), 3);
             assert_eq!(p.edges.len(), 2);
+        }
+    }
+
+    #[test]
+    fn cached_critical_path_matches_fresh() {
+        let (g, s) = two_paths();
+        let mut w = DagWeights::zeros(&g);
+        w.node[s[0].index()] = 20.0;
+        w.edge[0] = 100.0;
+        w.edge[1] = 120.0;
+        w.edge[3] = 80.0;
+        let mut cache = CriticalPathCache::new(&g);
+        // Repeated calls with mutating weights must match a fresh
+        // computation every time (the greedy-grouping access pattern).
+        for zeroed in [usize::MAX, 1, 3, 0, 2] {
+            if zeroed != usize::MAX {
+                w.edge[zeroed] = 0.0;
+            }
+            let cached = cache.critical_path(&g, &w);
+            let fresh = critical_path(&g, &w);
+            assert_eq!(cached.stages, fresh.stages);
+            assert_eq!(cached.edges, fresh.edges);
+            assert_eq!(cached.weight, fresh.weight);
         }
     }
 

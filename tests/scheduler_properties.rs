@@ -138,4 +138,52 @@ proptest! {
         let total: usize = groups.iter().map(|x| x.len()).sum();
         prop_assert_eq!(total, n);
     }
+
+    /// The incremental joint optimizer is bit-identical to the preserved
+    /// reference implementation (the deeper deterministic sweep lives in
+    /// `crates/core/tests/joint_equivalence.rs`).
+    #[test]
+    fn joint_matches_reference((seed, stages, layers) in arb_dag_seed(), free in arb_cluster()) {
+        let dag = random_dag(seed, &RandomDagConfig { stages, layers, ..Default::default() });
+        let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+        let rm = ResourceManager::from_free_slots(free);
+        prop_assume!(rm.total_free() >= dag.num_stages() as u32);
+        for obj in [Objective::Jct, Objective::Cost] {
+            let fast = joint_optimize(&dag, &model, &rm, obj, &JointOptions::default());
+            let slow = ditto::core::reference::joint_optimize_reference(
+                &dag, &model, &rm, obj, &JointOptions::default());
+            prop_assert_eq!(&fast.dop, &slow.dop);
+            prop_assert_eq!(&fast.group_of, &slow.group_of);
+            prop_assert_eq!(&fast.colocated, &slow.colocated);
+            prop_assert_eq!(&fast.placement, &slow.placement);
+        }
+    }
+
+    /// Rollback restores the union-find exactly; commit-time path
+    /// compression preserves the smallest-id representative contract.
+    #[test]
+    fn stage_groups_rollback_and_compression(stages in 2usize..40, unions in proptest::collection::vec((0u32..40, 0u32..40), 1..20)) {
+        let n = stages;
+        let mut g = StageGroups::singletons(n);
+        let mut plain = StageGroups::singletons(n);
+        for (i, &(a, b)) in unions.iter().enumerate() {
+            let (a, b) = (ditto::dag::StageId(a % n as u32), ditto::dag::StageId(b % n as u32));
+            // Trial a throwaway union on g, then roll it back.
+            let probe = ditto::dag::StageId((i as u32 * 7) % n as u32);
+            let token = g.checkpoint();
+            g.union(a, probe);
+            g.rollback_to(token);
+            // Now the real union on both, committing (compressing) g only.
+            g.union(a, b);
+            g.commit();
+            plain.union(a, b);
+            for s in 0..n as u32 {
+                let s = ditto::dag::StageId(s);
+                prop_assert_eq!(g.find(s), plain.find(s));
+            }
+        }
+        for grp in g.groups(n) {
+            prop_assert_eq!(g.find(grp[0]), *grp.iter().min().unwrap());
+        }
+    }
 }
