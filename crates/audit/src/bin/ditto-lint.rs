@@ -1,0 +1,84 @@
+//! Workspace determinism/panic-hazard lint.
+//!
+//! ```text
+//! cargo run -p ditto-audit --bin ditto-lint            # scan, exit 1 on findings
+//! cargo run -p ditto-audit --bin ditto-lint -- --list  # include allowed sites
+//! ```
+//!
+//! Scans every non-test, non-bin `.rs` file of the workspace for the
+//! rules documented in `ditto_audit::lint`, consulting `audit.allow` at
+//! the workspace root. Exits non-zero on any finding without an
+//! allowlist entry, or on a malformed allowlist. Stale allowlist entries
+//! (matching nothing) are reported as warnings so the file tracks the
+//! tree.
+
+use ditto_audit::lint::{lint_workspace, Allowlist};
+use std::path::PathBuf;
+
+fn main() {
+    let list_allowed = std::env::args().any(|a| a == "--list");
+
+    // The binary lives at crates/audit; the workspace root is two up.
+    let root = match std::env::var("DITTO_WORKSPACE_ROOT") {
+        Ok(p) => PathBuf::from(p),
+        Err(_) => {
+            let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            manifest
+                .parent()
+                .and_then(|p| p.parent())
+                .map(PathBuf::from)
+                .unwrap_or(manifest)
+        }
+    };
+
+    let allow_path = root.join("audit.allow");
+    let allow_text = std::fs::read_to_string(&allow_path).unwrap_or_default();
+    let mut allow = match Allowlist::parse(&allow_text) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let findings = match lint_workspace(&root, &mut allow) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: scanning {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+
+    let mut violations = 0usize;
+    let mut allowed = 0usize;
+    for f in &findings {
+        if f.allowed {
+            allowed += 1;
+            if list_allowed {
+                println!("{f}");
+            }
+        } else {
+            violations += 1;
+            println!("{f}");
+            println!("    note: {}", f.rule.why());
+        }
+    }
+
+    for stale in allow.stale() {
+        println!(
+            "warning: stale audit.allow entry matches nothing: {}|{}|{}|{}",
+            stale.rule, stale.path, stale.needle, stale.reason
+        );
+    }
+
+    println!(
+        "ditto-lint: {} findings ({} allowed, {} violations), {} allowlist entries",
+        findings.len(),
+        allowed,
+        violations,
+        allow.entries.len()
+    );
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}

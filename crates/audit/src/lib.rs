@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # ditto-audit — certificate-based schedule verification + determinism lint
+//!
+//! Two independent correctness tools for the Ditto reproduction:
+//!
+//! 1. **The schedule auditor** ([`audit`]): a pure function
+//!    `audit(dag, time_model, cluster, schedule)` that re-derives the
+//!    paper's invariants from scratch and checks the schedule against
+//!    them — DoP-ratio optimality (Algorithm 1, Eq. 3/4 and the cost
+//!    reduction `dᵢ ∝ √(ρᵢαᵢ)`), stage-group well-formedness
+//!    (Algorithm 2), placement feasibility against slot capacities and
+//!    shared-memory co-location claims (Algorithm 3), slot-budget/
+//!    deadline adherence, and structural DAG sanity. Every violation is
+//!    a typed [`AuditFinding`] with stage/edge/server provenance,
+//!    rendered human-readable ([`AuditReport::render`]) or as JSON
+//!    ([`AuditReport::to_json`]).
+//!
+//! 2. **The determinism lint** ([`lint`], `cargo run -p ditto-audit
+//!    --bin ditto-lint`): a line scanner over the workspace's own
+//!    sources that flags nondeterminism and panic hazards in non-test
+//!    scheduler/exec code, with an `audit.allow` file for justified
+//!    sites.
+//!
+//! The auditor deliberately does **not** call `joint_optimize` or
+//! `compute_dop`'s rounding: a scheduler bug must not be able to vouch
+//! for its own output.
+//!
+//! ```
+//! use ditto_core::{joint_optimize, JointOptions, Objective};
+//! use ditto_timemodel::{model::RateConfig, JobTimeModel};
+//!
+//! let dag = ditto_dag::generators::fig1_join();
+//! let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+//! let rm = ditto_cluster::ResourceManager::from_free_slots(vec![30, 30]);
+//! let s = joint_optimize(&dag, &model, &rm, Objective::Jct, &JointOptions::default());
+//! let report = ditto_audit::audit(&dag, &model, &rm, &s);
+//! assert!(report.is_clean(), "{}", report.render());
+//!
+//! // Corrupt the schedule: the auditor names the exact stage.
+//! let mut bad = s.clone();
+//! bad.dop[0] *= 3;
+//! let report = ditto_audit::audit(&dag, &model, &rm, &bad);
+//! assert!(!report.is_clean());
+//! assert_eq!(report.findings[0].stage, Some(0));
+//! ```
+
+pub mod checks;
+pub mod lint;
+pub mod report;
+
+pub use checks::{
+    audit, audit_model, audit_placement, audit_ratios, audit_structure, audit_with,
+    derive_fractional_dops, AuditOptions,
+};
+pub use report::{AuditFinding, AuditReport, CheckId, Severity};

@@ -1,0 +1,465 @@
+//! Source-level determinism and panic-hazard lint.
+//!
+//! A lightweight line scanner over the workspace's own `.rs` files — not
+//! a parser. It tracks `#[cfg(test)]` modules by brace depth so findings
+//! only fire in shipped code, and consults an allowlist (`audit.allow`)
+//! for sites that are justified with a reason string.
+//!
+//! Rules (scopes follow the scheduler/exec layers the determinism
+//! guarantees actually cover):
+//!
+//! | rule      | flags                                             | scope |
+//! |-----------|---------------------------------------------------|-------|
+//! | `DET01`   | `HashMap`/`HashSet` in code (iteration order)     | core, exec, cluster |
+//! | `DET02`   | `partial_cmp(..).unwrap()/expect()` (NaN panic + asymmetry) | whole workspace |
+//! | `PANIC01` | `.unwrap()` outside tests/bins                    | core, exec, cluster, timemodel |
+//! | `PANIC02` | `.expect(..)` outside tests/bins                  | core, exec, cluster, timemodel |
+//! | `TRUNC01` | float `floor/ceil/round/sqrt` cast to `u32/u64/usize` | core, timemodel |
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A rule the scanner can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintRule {
+    /// `HashMap`/`HashSet` in scheduler/exec code: iteration order is
+    /// nondeterministic; ordered paths must use `BTreeMap` or sort.
+    Det01HashCollection,
+    /// `partial_cmp(..).unwrap()`: panics on NaN; use `f64::total_cmp`.
+    Det02PartialCmpUnwrap,
+    /// `.unwrap()` in non-test, non-bin scheduler/exec code.
+    Panic01Unwrap,
+    /// `.expect(..)` in non-test, non-bin scheduler/exec code — allowed
+    /// only with an allowlist entry explaining the invariant.
+    Panic02Expect,
+    /// Float rounding function cast straight to an unsigned integer in
+    /// time-model math (silent truncation of negative/huge values).
+    Trunc01FloatCast,
+}
+
+impl LintRule {
+    /// Stable rule code, as used in `audit.allow`.
+    pub fn code(&self) -> &'static str {
+        match self {
+            LintRule::Det01HashCollection => "DET01",
+            LintRule::Det02PartialCmpUnwrap => "DET02",
+            LintRule::Panic01Unwrap => "PANIC01",
+            LintRule::Panic02Expect => "PANIC02",
+            LintRule::Trunc01FloatCast => "TRUNC01",
+        }
+    }
+
+    fn all() -> [LintRule; 5] {
+        [
+            LintRule::Det01HashCollection,
+            LintRule::Det02PartialCmpUnwrap,
+            LintRule::Panic01Unwrap,
+            LintRule::Panic02Expect,
+            LintRule::Trunc01FloatCast,
+        ]
+    }
+
+    /// Does this rule apply to the file at `rel` (workspace-relative,
+    /// `/`-separated)?
+    fn in_scope(&self, rel: &str) -> bool {
+        let scheduler_exec = ["crates/core/", "crates/exec/", "crates/cluster/"];
+        match self {
+            LintRule::Det01HashCollection => scheduler_exec.iter().any(|p| rel.starts_with(p)),
+            LintRule::Det02PartialCmpUnwrap => true,
+            LintRule::Panic01Unwrap | LintRule::Panic02Expect => scheduler_exec
+                .iter()
+                .any(|p| rel.starts_with(p))
+                || rel.starts_with("crates/timemodel/"),
+            LintRule::Trunc01FloatCast => {
+                rel.starts_with("crates/core/") || rel.starts_with("crates/timemodel/")
+            }
+        }
+    }
+
+    /// Does `line` (with line comments stripped) trip this rule?
+    fn fires_on(&self, line: &str) -> bool {
+        match self {
+            LintRule::Det01HashCollection => {
+                line.contains("HashMap") || line.contains("HashSet")
+            }
+            LintRule::Det02PartialCmpUnwrap => {
+                line.contains("partial_cmp")
+                    && (line.contains(".unwrap()") || line.contains(".expect("))
+            }
+            LintRule::Panic01Unwrap => line.contains(".unwrap()") && !line.contains("partial_cmp"),
+            LintRule::Panic02Expect => line.contains(".expect(") && !line.contains("partial_cmp"),
+            LintRule::Trunc01FloatCast => {
+                // `) as uN` — a parenthesized (float) expression cast, not
+                // an index cast like `StageId(i as u32)`.
+                (line.contains(") as u32") || line.contains(") as u64")
+                    || line.contains(") as usize"))
+                    && [".floor()", ".ceil()", ".round()", ".sqrt()"]
+                        .iter()
+                        .any(|f| line.contains(f))
+            }
+        }
+    }
+
+    /// One-line explanation for the report.
+    pub fn why(&self) -> &'static str {
+        match self {
+            LintRule::Det01HashCollection => {
+                "HashMap/HashSet iteration order is nondeterministic; use BTreeMap/BTreeSet \
+                 or sorted iteration in scheduler/exec paths"
+            }
+            LintRule::Det02PartialCmpUnwrap => {
+                "partial_cmp().unwrap() panics on NaN; use f64::total_cmp"
+            }
+            LintRule::Panic01Unwrap => {
+                "unwrap() in non-test scheduler/exec code; return a typed error or use a \
+                 documented expect with an audit.allow entry"
+            }
+            LintRule::Panic02Expect => {
+                "expect() in non-test scheduler/exec code needs an audit.allow entry stating \
+                 the invariant that makes it unreachable"
+            }
+            LintRule::Trunc01FloatCast => {
+                "float->integer `as` cast truncates silently; document the rounding rule in \
+                 audit.allow or use a checked conversion"
+            }
+        }
+    }
+}
+
+/// One lint hit.
+#[derive(Debug, Clone)]
+pub struct LintFinding {
+    /// The rule that fired.
+    pub rule: LintRule,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub text: String,
+    /// `true` if an `audit.allow` entry covers this site.
+    pub allowed: bool,
+    /// The allowlist reason, when covered.
+    pub reason: Option<String>,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mark = if self.allowed { "allowed" } else { "FINDING" };
+        write!(
+            f,
+            "{mark} {} {}:{}: {}",
+            self.rule.code(),
+            self.path,
+            self.line,
+            self.text
+        )?;
+        if let Some(r) = &self.reason {
+            write!(f, "  [{r}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// One `audit.allow` entry: `RULE|path-substring|line-substring|reason`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule code (`DET01`, …) or `*` for any rule.
+    pub rule: String,
+    /// Substring the workspace-relative path must contain.
+    pub path: String,
+    /// Substring the source line must contain (empty matches any line).
+    pub needle: String,
+    /// Why the site is acceptable.
+    pub reason: String,
+    /// Set by the scanner when the entry matched at least one finding.
+    pub used: bool,
+}
+
+/// Parsed `audit.allow`.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parse the `RULE|path|substring|reason` format. Lines starting with
+    /// `#` and blank lines are ignored. Malformed lines are errors — a
+    /// typo in the allowlist must not silently allow nothing.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.splitn(4, '|').collect();
+            if parts.len() != 4 {
+                return Err(format!(
+                    "audit.allow:{}: expected RULE|path|substring|reason, got {line:?}",
+                    i + 1
+                ));
+            }
+            if parts[3].trim().is_empty() {
+                return Err(format!("audit.allow:{}: empty reason", i + 1));
+            }
+            entries.push(AllowEntry {
+                rule: parts[0].trim().to_string(),
+                path: parts[1].trim().to_string(),
+                needle: parts[2].trim().to_string(),
+                reason: parts[3].trim().to_string(),
+                used: false,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    fn cover(&mut self, rule: &str, path: &str, text: &str) -> Option<String> {
+        for e in &mut self.entries {
+            let rule_ok = e.rule == "*" || e.rule == rule;
+            if rule_ok && path.contains(&e.path) && (e.needle.is_empty() || text.contains(&e.needle))
+            {
+                e.used = true;
+                return Some(e.reason.clone());
+            }
+        }
+        None
+    }
+
+    /// Entries that matched nothing (stale — the site was fixed or moved).
+    pub fn stale(&self) -> Vec<&AllowEntry> {
+        self.entries.iter().filter(|e| !e.used).collect()
+    }
+}
+
+/// Scan one file's source text. `rel` is the workspace-relative path used
+/// for scoping and allowlist matching.
+pub fn lint_source(rel: &str, source: &str, allow: &mut Allowlist) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    let rules: Vec<LintRule> = LintRule::all()
+        .into_iter()
+        .filter(|r| r.in_scope(rel))
+        .collect();
+    if rules.is_empty() {
+        return findings;
+    }
+
+    // `#[cfg(test)]` tracking: when the attribute is seen, the next `{`
+    // opens a region we skip until its matching `}`. Good enough for the
+    // `#[cfg(test)] mod tests { … }` idiom this workspace uses throughout.
+    let mut pending_test_attr = false;
+    let mut test_depth: Option<usize> = None; // brace depth at region start
+    let mut depth: usize = 0;
+    let mut in_block_comment = false;
+
+    for (lineno, raw) in source.lines().enumerate() {
+        // Strip comments (line-granular: good enough for this tree).
+        let mut text = raw.to_string();
+        if in_block_comment {
+            match text.find("*/") {
+                Some(i) => {
+                    in_block_comment = false;
+                    text.replace_range(..i + 2, "");
+                }
+                None => continue,
+            }
+        }
+        if let Some(i) = text.find("/*") {
+            if !text[i..].contains("*/") {
+                in_block_comment = true;
+            }
+            text.truncate(i);
+        }
+        if let Some(i) = text.find("//") {
+            text.truncate(i);
+        }
+        let code = text.trim();
+
+        if code.contains("#[cfg(test)]") {
+            pending_test_attr = true;
+        }
+
+        let opens = code.matches('{').count();
+        let closes = code.matches('}').count();
+        let in_test = test_depth.is_some();
+
+        if !in_test && !code.is_empty() {
+            for rule in &rules {
+                if rule.fires_on(code) {
+                    let reason = allow.cover(rule.code(), rel, code);
+                    findings.push(LintFinding {
+                        rule: *rule,
+                        path: rel.to_string(),
+                        line: lineno + 1,
+                        text: raw.trim().to_string(),
+                        allowed: reason.is_some(),
+                        reason,
+                    });
+                }
+            }
+        }
+
+        if pending_test_attr && opens > 0 {
+            test_depth = test_depth.or(Some(depth));
+            pending_test_attr = false;
+        }
+        depth += opens;
+        depth = depth.saturating_sub(closes);
+        if let Some(d) = test_depth {
+            if depth <= d && closes > 0 {
+                test_depth = None;
+            }
+        }
+    }
+    findings
+}
+
+/// Should `rel` be scanned at all? Bins, examples, benches, tests and
+/// shims are exempt (panicking and ad-hoc maps are fine there).
+pub fn scannable(rel: &str) -> bool {
+    rel.ends_with(".rs")
+        && !rel.starts_with("shims/")
+        && !rel.starts_with("target/")
+        && !rel.contains("/bin/")
+        && !rel.contains("/tests/")
+        && !rel.contains("/examples/")
+        && !rel.contains("/benches/")
+        && !rel.starts_with("src/bin/")
+}
+
+/// Walk the workspace at `root` and lint every in-scope `.rs` file.
+/// Returns findings sorted by (path, line). I/O errors on individual
+/// files are reported as findings on the file itself rather than
+/// aborting the scan.
+pub fn lint_workspace(root: &Path, allow: &mut Allowlist) -> std::io::Result<Vec<LintFinding>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if !scannable(&rel) {
+            continue;
+        }
+        let source = std::fs::read_to_string(&f)?;
+        findings.extend(lint_source(&rel, &source, allow));
+    }
+    findings.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    Ok(findings)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || (dir == root && name == "shims") {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<LintFinding> {
+        let mut allow = Allowlist::default();
+        lint_source(rel, src, &mut allow)
+    }
+
+    #[test]
+    fn flags_partial_cmp_unwrap_everywhere() {
+        let src = "fn f(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+        let f = run("crates/sql/src/ops/sort.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, LintRule::Det02PartialCmpUnwrap);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn skips_test_modules() {
+        let src = "\
+fn shipping() { let x: Option<u32> = None; x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); }
+}
+fn also_shipping() { Some(2).unwrap(); }
+";
+        let f = run("crates/core/src/x.rs", src);
+        let lines: Vec<usize> = f.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![1, 7], "{f:?}");
+    }
+
+    #[test]
+    fn scope_limits_hash_rule() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(run("crates/core/src/x.rs", src).len(), 1);
+        assert_eq!(run("crates/sql/src/x.rs", src).len(), 0);
+        assert_eq!(run("crates/dag/src/x.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn comments_do_not_fire() {
+        let src = "// a HashMap would be wrong here\n/* also .unwrap() */\nlet x = 1;\n";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trunc_rule_needs_float_context() {
+        let idx = "let s = StageId(i as u32);\n";
+        assert!(run("crates/core/src/x.rs", idx).is_empty());
+        let fl = "let d = (f.floor() as u32).max(1);\n";
+        let f = run("crates/core/src/x.rs", fl);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, LintRule::Trunc01FloatCast);
+    }
+
+    #[test]
+    fn allowlist_covers_and_tracks_staleness() {
+        let mut allow = Allowlist::parse(
+            "# comment\n\
+             PANIC02|crates/core/src/x.rs|inserted above|memo entry written two lines up\n\
+             DET01|crates/core/src/gone.rs||file was deleted\n",
+        )
+        .unwrap();
+        let src = "let v = memo.get(k).expect(\"inserted above\");\n";
+        let f = lint_source("crates/core/src/x.rs", src, &mut allow);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].allowed);
+        assert_eq!(f[0].reason.as_deref(), Some("memo entry written two lines up"));
+        let stale = allow.stale();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].path, "crates/core/src/gone.rs");
+    }
+
+    #[test]
+    fn malformed_allowlist_is_an_error() {
+        assert!(Allowlist::parse("PANIC02|only|three").is_err());
+        assert!(Allowlist::parse("PANIC02|a|b|   ").is_err());
+    }
+
+    #[test]
+    fn bins_tests_examples_exempt() {
+        assert!(scannable("crates/core/src/dop.rs"));
+        assert!(!scannable("crates/audit/src/bin/ditto-lint.rs"));
+        assert!(!scannable("crates/core/tests/props.rs"));
+        assert!(!scannable("shims/rand/src/lib.rs"));
+        assert!(!scannable("src/bin/ditto-sched.rs"));
+        assert!(scannable("src/jobspec.rs"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Negative suite: corrupted schedules are caught with exact provenance.
+//!
+//! Each test takes a certified joint-optimizer schedule, applies one
+//! targeted corruption, and asserts that the auditor (a) flags it and
+//! (b) attributes the finding to the exact stage / edge / server that
+//! was corrupted — vague "something is wrong" reports would make the
+//! certificates useless for debugging schedulers.
+
+use ditto_audit::{audit, CheckId};
+use ditto_cluster::{ResourceManager, ServerId};
+use ditto_core::{joint_optimize, JointOptions, Objective, Schedule, TaskPlacement};
+use ditto_dag::JobDag;
+use ditto_timemodel::model::RateConfig;
+use ditto_timemodel::JobTimeModel;
+
+fn setup() -> (JobDag, JobTimeModel, ResourceManager, Schedule) {
+    let dag = ditto_dag::generators::q95_shape();
+    let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+    let rm = ResourceManager::from_free_slots(vec![96; 8]);
+    let s = joint_optimize(&dag, &model, &rm, Objective::Jct, &JointOptions::default());
+    let report = audit(&dag, &model, &rm, &s);
+    assert!(report.is_clean(), "precondition:\n{}", report.render());
+    (dag, model, rm, s)
+}
+
+/// Stages whose group is a singleton: corrupting their placement cannot
+/// trip the co-location certificate, which keeps each test's blast
+/// radius to exactly the invariant under test.
+fn singleton_stages(s: &Schedule) -> Vec<usize> {
+    (0..s.dop.len())
+        .filter(|&i| s.groups[s.group_of[i]].len() == 1)
+        .collect()
+}
+
+#[test]
+fn wrong_dop_ratio_is_caught_at_the_corrupted_stage() {
+    let (dag, model, rm, mut s) = setup();
+    // Halve the DoP of the singleton-group stage with the largest DoP
+    // and rebuild its placement so coverage and capacity stay legal —
+    // the *only* violated invariant is the Eq. 3/4 ratio.
+    let victim = singleton_stages(&s)
+        .into_iter()
+        .filter(|&i| s.dop[i] >= 4)
+        .max_by_key(|&i| s.dop[i])
+        .expect("q95 schedule has a singleton-group stage with DoP >= 4");
+    let new_dop = s.dop[victim] / 2;
+    s.dop[victim] = new_dop;
+    // Spread the shrunk stage across whatever per-server capacity the
+    // other stages leave free, so only the ratio invariant is violated.
+    let mut load = vec![0u32; rm.num_servers()];
+    for (i, p) in s.placement.iter().enumerate() {
+        if i == victim {
+            continue;
+        }
+        match p {
+            TaskPlacement::Single(srv) => load[srv.0 as usize] += s.dop[i],
+            TaskPlacement::Spread(parts) => {
+                for &(srv, c) in parts {
+                    load[srv.0 as usize] += c;
+                }
+            }
+        }
+    }
+    let mut chunks = Vec::new();
+    let mut left = new_dop;
+    for (srv, &used) in load.iter().enumerate() {
+        if left == 0 {
+            break;
+        }
+        let free = rm.free_on(ServerId(srv as u32)).saturating_sub(used);
+        let take = left.min(free);
+        if take > 0 {
+            chunks.push((ServerId(srv as u32), take));
+            left -= take;
+        }
+    }
+    assert_eq!(left, 0, "corruption stays placeable");
+    s.placement[victim] = TaskPlacement::Spread(chunks);
+
+    let report = audit(&dag, &model, &rm, &s);
+    assert!(!report.is_clean());
+    let ratio_findings: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.check == CheckId::DopRatio)
+        .collect();
+    assert!(
+        ratio_findings
+            .iter()
+            .any(|f| f.stage == Some(victim as u32)),
+        "DopRatio finding must name stage {victim}:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn oversubscribed_server_is_caught_with_server_provenance() {
+    let (dag, model, rm, mut s) = setup();
+    // Pile more tasks onto server 0 than it has free slots. Coverage is
+    // kept consistent (dop == placed tasks) so the structural pass is
+    // clean and the capacity certificate is what fires.
+    let victim = *singleton_stages(&s).first().expect("singleton stage");
+    let over = rm.free_on(ServerId(0)) + 17;
+    s.dop[victim] = over;
+    s.placement[victim] = TaskPlacement::Spread(vec![(ServerId(0), over)]);
+
+    let report = audit(&dag, &model, &rm, &s);
+    assert!(!report.is_clean());
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.check == CheckId::SlotCapacity && f.server == Some(0)),
+        "SlotCapacity finding must name server 0:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn phantom_colocation_is_caught_at_the_corrupted_edge() {
+    let (dag, model, rm, mut s) = setup();
+    // Claim shared-memory shuffle across an edge whose endpoints live in
+    // different stage groups — physically impossible, since co-location
+    // requires the group's tasks to share servers.
+    let edge = (0..dag.num_edges())
+        .find(|&e| {
+            let ed = dag.edge(ditto_dag::EdgeId(e as u32));
+            s.group_of[ed.src.index()] != s.group_of[ed.dst.index()]
+        })
+        .expect("q95 schedule has an inter-group edge");
+    s.colocated[edge] = true;
+
+    let report = audit(&dag, &model, &rm, &s);
+    assert!(!report.is_clean());
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.check == CheckId::ColocationClaim && f.edge == Some(edge as u32)),
+        "ColocationClaim finding must name edge {edge}:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn phantom_server_is_caught() {
+    let (dag, model, rm, mut s) = setup();
+    let victim = *singleton_stages(&s).first().expect("singleton stage");
+    s.placement[victim] = TaskPlacement::Spread(vec![(ServerId(99), s.dop[victim])]);
+
+    let report = audit(&dag, &model, &rm, &s);
+    assert!(!report.is_clean());
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.check == CheckId::SlotCapacity && f.server == Some(99)),
+        "finding must name phantom server 99:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn broken_partition_is_caught() {
+    let (dag, model, rm, mut s) = setup();
+    // Drop a stage from its group: the partition certificate must name it.
+    let gid = s
+        .groups
+        .iter()
+        .position(|g| !g.is_empty())
+        .expect("nonempty group");
+    let dropped = s.groups[gid].remove(0);
+
+    let report = audit(&dag, &model, &rm, &s);
+    assert!(!report.is_clean());
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.check == CheckId::GroupPartition && f.stage == Some(dropped.0)),
+        "GroupPartition finding must name stage {}:\n{}",
+        dropped.0,
+        report.render()
+    );
+}

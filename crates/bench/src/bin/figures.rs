@@ -38,7 +38,7 @@ fn main() {
     let all = [
         "fig1", "fig2", "fig4", "fig5", "fig8a", "fig8b", "fig8c", "fig9a", "fig9b", "fig9c",
         "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table1", "table2", "ablations",
-        "multi", "deadline", "faults", "telemetry", "export",
+        "multi", "deadline", "faults", "telemetry", "audit", "export",
     ];
     let targets: Vec<&str> = if wanted.is_empty() || wanted.contains(&"all") {
         all.to_vec()
@@ -132,6 +132,22 @@ fn main() {
                 }
             }
             "telemetry" => emit(&ditto_bench::telemetry_overhead(), json),
+            // Certificate sweep: audit every scheduler's output on 32
+            // seeded random DAGs × both objectives. Exits nonzero if any
+            // schedule fails its certificate, so CI can gate on it.
+            "audit" => {
+                let rows = ditto_bench::audit_sweep(ditto_bench::AUDIT_SWEEP_SEEDS);
+                emit(&rows, json);
+                let errors: usize = rows.iter().map(|r| r.errors).sum();
+                println!(
+                    "audit sweep: {} schedules certified, {} error findings",
+                    rows.len(),
+                    errors
+                );
+                if !ditto_bench::sweep_is_clean(&rows) {
+                    std::process::exit(1);
+                }
+            }
             "export" => {
                 // Artifacts: the Ditto-scheduled Q95 DAG as Graphviz DOT
                 // (groups colored) and its simulated trace as a Chrome

@@ -397,7 +397,7 @@ pub fn fig11() -> Vec<ModelAccuracyRow> {
         let io_stage = dag
             .stages()
             .iter()
-            .max_by(|a, b| io_alpha(a.id).partial_cmp(&io_alpha(b.id)).unwrap())
+            .max_by(|a, b| io_alpha(a.id).total_cmp(&io_alpha(b.id)))
             .unwrap()
             .id;
         // Compute-intensive: highest compute share among stages doing at
@@ -411,7 +411,7 @@ pub fn fig11() -> Vec<ModelAccuracyRow> {
                     p.model.stage_steps(s).compute.alpha * p.model.scaling(s)
                         / total_alpha(s).max(1e-12)
                 };
-                frac(a.id).partial_cmp(&frac(b.id)).unwrap()
+                frac(a.id).total_cmp(&frac(b.id))
             })
             .unwrap()
             .id;
@@ -697,7 +697,7 @@ pub fn table1(iters: usize) -> Vec<OverheadRow> {
                     dt
                 })
                 .collect();
-            samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            samples.sort_by(f64::total_cmp);
             rows.push(OverheadRow {
                 query: q.name().into(),
                 slot_usage_pct: (usage * 100.0) as u32,

@@ -18,6 +18,7 @@
 //! (Tables 1 and 2).
 
 pub mod ablations;
+pub mod audit_sweep;
 pub mod experiments;
 pub mod report;
 pub mod sched_bench;
@@ -25,6 +26,7 @@ pub mod setup;
 pub mod telemetry;
 
 pub use ablations::all_ablations;
+pub use audit_sweep::{audit_sweep, sweep_is_clean, AuditSweepRow, AUDIT_SWEEP_SEEDS};
 pub use experiments::*;
 pub use report::{render_rows, write_json};
 pub use sched_bench::{sched_bench, sched_bench_sizes, sched_bench_smoke, SchedBenchRow};

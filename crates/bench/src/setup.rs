@@ -70,12 +70,26 @@ impl PreparedQuery {
         rm: &ResourceManager,
         objective: Objective,
     ) -> Schedule {
-        scheduler.schedule(&SchedulingContext {
+        let schedule = scheduler.schedule(&SchedulingContext {
             dag: &self.plan.dag,
             model: &self.model,
             resources: rm,
             objective,
-        })
+        });
+        // Debug builds re-derive the paper's invariants (DoP ratios,
+        // placement feasibility, colocation claims) on every schedule the
+        // harness produces; release figure runs skip the cost.
+        #[cfg(debug_assertions)]
+        {
+            let report = ditto_audit::audit(&self.plan.dag, &self.model, rm, &schedule);
+            assert!(
+                report.is_clean(),
+                "schedule for {:?} failed audit:\n{}",
+                self.query,
+                report.render()
+            );
+        }
+        schedule
     }
 
     /// Schedule and simulate; returns the metrics the figures plot.

@@ -150,7 +150,7 @@ pub fn bottom_up_merge(dag: &JobDag, alpha: &[f64]) -> MergeNode {
         }
         // Merge sibling subtrees with the inter-path rule (Eq. 4)...
         let mut iter = feeders.iter();
-        let first = build(*iter.next().unwrap(), alpha, tree_parents);
+        let first = build(*iter.next().expect("feeders checked non-empty"), alpha, tree_parents);
         let upstream = iter.fold(first, |acc, &f| {
             let rhs = build(f, alpha, tree_parents);
             let a = acc.alpha() + rhs.alpha();
@@ -226,7 +226,7 @@ pub fn round_dops(fractional: &[f64], c: u32) -> Vec<u32> {
             .iter()
             .enumerate()
             .max_by_key(|&(i, &d)| (d, usize::MAX - i))
-            .unwrap();
+            .expect("dop vector is non-empty");
         debug_assert!(dop[idx] > 1);
         dop[idx] -= 1;
         sum -= 1;

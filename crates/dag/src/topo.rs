@@ -2,11 +2,12 @@
 
 use crate::graph::JobDag;
 use crate::stage::StageId;
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 /// All stages reachable downstream from `from` (excluding `from` itself).
-pub fn descendants(dag: &JobDag, from: StageId) -> HashSet<StageId> {
-    let mut seen = HashSet::new();
+/// Ordered by stage id, so iteration is deterministic.
+pub fn descendants(dag: &JobDag, from: StageId) -> BTreeSet<StageId> {
+    let mut seen = BTreeSet::new();
     let mut stack: Vec<StageId> = dag.children_of(from).collect();
     while let Some(s) = stack.pop() {
         if seen.insert(s) {
@@ -17,8 +18,9 @@ pub fn descendants(dag: &JobDag, from: StageId) -> HashSet<StageId> {
 }
 
 /// All stages reachable upstream from `from` (excluding `from` itself).
-pub fn ancestors(dag: &JobDag, from: StageId) -> HashSet<StageId> {
-    let mut seen = HashSet::new();
+/// Ordered by stage id, so iteration is deterministic.
+pub fn ancestors(dag: &JobDag, from: StageId) -> BTreeSet<StageId> {
+    let mut seen = BTreeSet::new();
     let mut stack: Vec<StageId> = dag.parents_of(from).collect();
     while let Some(s) = stack.pop() {
         if seen.insert(s) {

@@ -234,7 +234,7 @@ impl FaultPlan {
                 FaultEvent::ServerFailure { server, at_time } => Some((*server, *at_time)),
                 _ => None,
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 
@@ -711,7 +711,7 @@ fn sim_pass(
                 .iter()
                 .map(|o| o.end - o.first_launch)
                 .collect();
-            durs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            durs.sort_by(f64::total_cmp);
             let idx = (((durs.len() - 1) as f64) * policy.speculation_quantile.clamp(0.0, 1.0))
                 .round() as usize;
             let threshold = durs[idx] * policy.speculation_factor.max(1.0);

@@ -106,8 +106,8 @@ pub fn simulate_queue(
             let (p, _) = free_at
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
-                .unwrap();
+                .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+                .expect("at least one partition exists");
             let start = free_at[p].max(job.arrival);
             let rm = ResourceManager::from_free_slots(partitions[p].clone());
             let schedule = scheduler.schedule(&SchedulingContext {

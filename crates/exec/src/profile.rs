@@ -93,7 +93,7 @@ pub fn profile_job(dag: &JobDag, gt: &GroundTruth, dops: &[u32]) -> JobProfile {
         // Resource model from ground-truth memory at a representative DoP:
         // M(d) = ρ/d·d ... the linear form ρ + σd is recovered from two
         // points (d smallest and largest profiled).
-        let (d0, d1) = (dops[0], *dops.last().unwrap());
+        let (d0, d1) = (dops[0], dops[dops.len() - 1]);
         let m0 = gt.task_memory_gb(dag, stage.id, d0) * d0 as f64;
         let m1 = gt.task_memory_gb(dag, stage.id, d1) * d1 as f64;
         // Total memory is ρ + σ·d (ρ = data, σ = per-function overhead).

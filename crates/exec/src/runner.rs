@@ -26,7 +26,7 @@ use ditto_core::Schedule;
 use ditto_dag::{EdgeKind, StageId};
 use ditto_sql::{Database, QueryPlan, StageOp, Table};
 use ditto_storage::{DataPlane, TransferLedger};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -213,7 +213,7 @@ impl LocalRuntime {
 
         // ---- gather inputs ----
         let read_t0 = Instant::now();
-        let mut inputs: HashMap<String, Table> = HashMap::new();
+        let mut inputs: BTreeMap<String, Table> = BTreeMap::new();
         let mut bytes_read = 0u64;
         for e in dag.in_edges(s) {
             let du = schedule.dop[e.src.index()];

@@ -51,6 +51,13 @@ pub fn try_simulate(
     schedule: &Schedule,
     gt: &GroundTruth,
 ) -> Result<(ExecutionTrace, JobMetrics), ExecError> {
+    // Certificate gate: refuse structurally unsound schedules up front with
+    // the auditor's stage/edge-attributed findings instead of a mid-run
+    // panic deep inside the event loop.
+    let report = ditto_audit::audit_structure(dag, schedule);
+    if !report.is_clean() {
+        return Err(ExecError::InvalidSchedule(report.render()));
+    }
     try_simulate_with_faults(
         dag,
         schedule,

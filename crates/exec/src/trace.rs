@@ -146,17 +146,18 @@ impl ExecutionTrace {
     /// Peak concurrent tasks per server over the whole execution — the
     /// invariant check that a schedule's placement is honored *in time*:
     /// no server ever hosts more simultaneous tasks than it had free
-    /// slots. Computed exactly by a sweep over launch/end events.
-    pub fn peak_server_occupancy(&self) -> std::collections::HashMap<u32, u32> {
+    /// slots. Computed exactly by a sweep over launch/end events. The
+    /// result is ordered by server id so iteration is deterministic.
+    pub fn peak_server_occupancy(&self) -> std::collections::BTreeMap<u32, u32> {
         let mut events: Vec<(f64, i32, u32)> = Vec::with_capacity(self.tasks.len() * 2);
         for t in &self.tasks {
             events.push((t.launch, 1, t.server.0));
             events.push((t.end, -1, t.server.0));
         }
         // Ends before starts at the same instant (half-open intervals).
-        events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
-        let mut current: std::collections::HashMap<u32, i32> = Default::default();
-        let mut peak: std::collections::HashMap<u32, u32> = Default::default();
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut current: std::collections::BTreeMap<u32, i32> = Default::default();
+        let mut peak: std::collections::BTreeMap<u32, u32> = Default::default();
         for (_, delta, server) in events {
             let c = current.entry(server).or_insert(0);
             *c += delta;

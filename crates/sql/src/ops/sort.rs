@@ -19,7 +19,7 @@ pub fn sort_limit(t: &Table, col: &str, order: SortOrder, limit: usize) -> Table
     let mut idx: Vec<usize> = (0..t.num_rows()).collect();
     match c {
         Column::I64(v) => idx.sort_by(|&a, &b| v[a].cmp(&v[b])),
-        Column::F64(v) => idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap()),
+        Column::F64(v) => idx.sort_by(|&a, &b| v[a].total_cmp(&v[b])),
         Column::Str(v) => idx.sort_by(|&a, &b| v[a].cmp(&v[b])),
     }
     if order == SortOrder::Desc {

@@ -21,7 +21,7 @@ use crate::ops::group_by::AggSpec;
 use crate::ops::{group_by, hash_join, sort_limit, SortOrder};
 use crate::table::Table;
 use ditto_dag::{JobDag, StageId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 pub use crate::ops::group_by::AggFunc;
 pub use crate::ops::join::JoinKind;
@@ -116,7 +116,7 @@ impl QueryPlan {
         &self,
         stage: StageId,
         db: &Database,
-        inputs: &HashMap<String, Table>,
+        inputs: &BTreeMap<String, Table>,
         scan_override: Option<&Table>,
     ) -> Table {
         let spec = &self.stages[stage.index()];
@@ -198,9 +198,9 @@ impl QueryPlan {
     /// Returns the final stage's output (plans here have a single sink).
     pub fn execute_reference(&self, db: &Database) -> Table {
         let order = self.dag.topo_order().expect("plan DAG is valid");
-        let mut outputs: HashMap<StageId, Table> = HashMap::new();
+        let mut outputs: BTreeMap<StageId, Table> = BTreeMap::new();
         for s in order {
-            let inputs: HashMap<String, Table> = self
+            let inputs: BTreeMap<String, Table> = self
                 .dag
                 .parents_of(s)
                 .map(|p| (self.dag.stage(p).name.clone(), outputs[&p].clone()))
@@ -218,9 +218,9 @@ impl QueryPlan {
     /// these volumes.
     pub fn measure_volumes(&mut self, db: &Database) {
         let order = self.dag.topo_order().expect("plan DAG is valid");
-        let mut outputs: HashMap<StageId, Table> = HashMap::new();
+        let mut outputs: BTreeMap<StageId, Table> = BTreeMap::new();
         for s in order {
-            let inputs: HashMap<String, Table> = self
+            let inputs: BTreeMap<String, Table> = self
                 .dag
                 .parents_of(s)
                 .map(|p| (self.dag.stage(p).name.clone(), outputs[&p].clone()))
@@ -317,7 +317,7 @@ impl QueryPlan {
     }
 }
 
-fn input_req<'a>(inputs: &'a HashMap<String, Table>, name: &str, query: &str) -> &'a Table {
+fn input_req<'a>(inputs: &'a BTreeMap<String, Table>, name: &str, query: &str) -> &'a Table {
     inputs
         .get(name)
         .unwrap_or_else(|| panic!("{query}: missing input from stage {name:?}"))
@@ -388,10 +388,10 @@ mod tests {
         let parts = store.split(4);
         // Running the scan over each slice and concatenating equals the
         // full-table scan: the runtime's task decomposition is lossless.
-        let full = plan.execute_stage(StageId(0), &db, &HashMap::new(), None);
+        let full = plan.execute_stage(StageId(0), &db, &BTreeMap::new(), None);
         let by_parts: Vec<Table> = parts
             .iter()
-            .map(|p| plan.execute_stage(StageId(0), &db, &HashMap::new(), Some(p)))
+            .map(|p| plan.execute_stage(StageId(0), &db, &BTreeMap::new(), Some(p)))
             .collect();
         let merged = Table::concat(&by_parts).unwrap();
         assert_eq!(merged.num_rows(), full.num_rows());
@@ -424,6 +424,6 @@ mod tests {
     fn missing_input_panics() {
         let db = Database::generate(ScaleConfig::with_sf(0.05));
         let plan = mini_plan();
-        plan.execute_stage(StageId(1), &db, &HashMap::new(), None);
+        plan.execute_stage(StageId(1), &db, &BTreeMap::new(), None);
     }
 }

@@ -121,7 +121,7 @@ pub fn reference(db: &Database) -> Vec<(i64, f64)> {
         }
     }
     let mut out: Vec<(i64, f64)> = revenue.into_iter().collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     out.truncate(TOP_N);
     out
 }

@@ -1,0 +1,108 @@
+//! `ditto-audit` — schedule a JSON job spec and certify the result.
+//!
+//! ```sh
+//! ditto-audit job.json                    # schedule + audit, human report
+//! cat job.json | ditto-audit              # spec on stdin
+//! ditto-audit --json job.json             # machine-readable report
+//! ditto-audit --deadline 120 job.json     # also check a JCT deadline
+//! ditto-audit --cost-budget 5e6 job.json  # also check a GB·s budget
+//! ```
+//!
+//! Runs the full certificate chain of `ditto_audit` on the schedule the
+//! joint optimizer produces for the spec: structural sanity, stage-group
+//! well-formedness, placement feasibility, colocation claims, DoP-ratio
+//! optimality (Eqs. 3–4) and, with the flags above, objective adherence.
+//! Exits 0 iff the schedule is certified (no error-severity findings),
+//! 1 on audit errors, 2 on a malformed spec or bad flags.
+
+use ditto::jobspec::JobSpec;
+use ditto_audit::AuditOptions;
+use std::io::Read as _;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = take_flag(&mut args, "--json");
+    let deadline = take_value(&mut args, "--deadline");
+    let cost_budget = take_value(&mut args, "--cost-budget");
+
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: ditto-audit [--json] [--deadline SECS] [--cost-budget GBS] <job.json>"
+        );
+        std::process::exit(2);
+    }
+    let text = match args.first().map(|s| s.as_str()) {
+        Some(path) if path != "-" => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("ditto-audit: cannot read {path:?}: {e}");
+                std::process::exit(2);
+            }
+        },
+        _ => {
+            let mut buf = String::new();
+            if std::io::stdin().read_to_string(&mut buf).is_err() {
+                eprintln!("ditto-audit: failed to read stdin");
+                std::process::exit(2);
+            }
+            buf
+        }
+    };
+
+    let spec = match JobSpec::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ditto-audit: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (dag, model, rm, objective) = match spec.lower() {
+        Ok(parts) => parts,
+        Err(e) => {
+            eprintln!("ditto-audit: {e}");
+            std::process::exit(2);
+        }
+    };
+    let schedule = ditto_core::joint_optimize(
+        &dag,
+        &model,
+        &rm,
+        objective,
+        &ditto_core::JointOptions::default(),
+    );
+    let opts = AuditOptions {
+        deadline,
+        cost_budget,
+        ..Default::default()
+    };
+    let report = ditto_audit::audit_with(&dag, &model, &rm, &schedule, &opts);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    std::process::exit(if report.is_clean() { 0 } else { 1 });
+}
+
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    let had = args.iter().any(|a| a == name);
+    args.retain(|a| a != name);
+    had
+}
+
+fn take_value(args: &mut Vec<String>, name: &str) -> Option<f64> {
+    let i = args.iter().position(|a| a == name)?;
+    args.remove(i);
+    if i >= args.len() {
+        eprintln!("ditto-audit: {name} needs a numeric argument");
+        std::process::exit(2);
+    }
+    let raw = args.remove(i);
+    match raw.parse::<f64>() {
+        Ok(v) if v.is_finite() && v > 0.0 => Some(v),
+        _ => {
+            eprintln!("ditto-audit: {name} needs a positive number, got {raw:?}");
+            std::process::exit(2);
+        }
+    }
+}

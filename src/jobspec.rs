@@ -260,6 +260,19 @@ impl JobSpec {
     pub fn schedule(&self) -> Result<(Schedule, ScheduleJson), SpecError> {
         let (dag, model, rm, objective) = self.lower()?;
         let schedule = joint_optimize(&dag, &model, &rm, objective, &JointOptions::default());
+        // Debug builds certify every spec-driven schedule against the
+        // paper invariants before emitting it (release keeps the CLI
+        // latency profile unchanged; `ditto-audit` checks explicitly).
+        #[cfg(debug_assertions)]
+        {
+            let report = ditto_audit::audit(&dag, &model, &rm, &schedule);
+            assert!(
+                report.is_clean(),
+                "spec {:?}: schedule failed audit:\n{}",
+                self.name,
+                report.render()
+            );
+        }
         let mut json = ScheduleJson::from_schedule(&dag, &schedule);
         let frac: Vec<f64> = schedule.dop.iter().map(|&d| d as f64).collect();
         json.predicted_jct_seconds =

@@ -3,6 +3,7 @@
 //! Facade crate re-exporting the Ditto public API.
 pub mod jobspec;
 
+pub use ditto_audit as audit;
 pub use ditto_cluster as cluster;
 pub use ditto_core as core;
 pub use ditto_dag as dag;
