@@ -374,8 +374,50 @@ pub fn audit_placement(
     cluster: &ResourceManager,
     schedule: &Schedule,
 ) -> AuditReport {
+    audit_placement_masked(dag, cluster, schedule, None)
+}
+
+/// Feasibility certificate for a *spliced* (replanned) schedule.
+///
+/// A mid-job replan cannot be audited with the static [`audit_placement`]
+/// count: stages of the completed prefix have already released their
+/// slots, so counting them against the replan-time free-slot snapshot
+/// would double-charge the cluster. The caller supplies the `active`
+/// mask — stages still holding or about to claim slots at splice time
+/// (the in-flight prefix plus the replanned suffix) — and only those are
+/// counted against `cluster`. Structure, grouping and co-location claims
+/// are still checked for the whole schedule ([`audit_structure`]).
+///
+/// `cluster` must be the free-slot snapshot the replan optimized against
+/// (failed servers removed, completed stages' slots returned).
+pub fn audit_splice(
+    dag: &JobDag,
+    cluster: &ResourceManager,
+    schedule: &Schedule,
+    active: &[bool],
+) -> AuditReport {
+    let mut r = audit_structure(dag, schedule);
+    if r.is_clean() {
+        r.merge(audit_placement_masked(dag, cluster, schedule, Some(active)));
+    }
+    r
+}
+
+/// [`audit_placement`] restricted to the stages selected by `active`
+/// (`None` = all stages).
+fn audit_placement_masked(
+    dag: &JobDag,
+    cluster: &ResourceManager,
+    schedule: &Schedule,
+    active: Option<&[bool]>,
+) -> AuditReport {
     let mut r = AuditReport::default();
-    let n = dag.num_stages() as u32;
+    let counted = |i: usize| active.is_none_or(|m| m.get(i).copied().unwrap_or(false));
+    let n = dag
+        .stages()
+        .iter()
+        .filter(|s| counted(s.id.index()))
+        .count() as u32;
 
     // Tasks per server, with the heaviest stage kept for provenance.
     let mut load: BTreeMap<u32, (u32, u32)> = BTreeMap::new(); // server -> (tasks, worst stage)
@@ -387,6 +429,9 @@ pub fn audit_placement(
         }
     };
     for s in dag.stages() {
+        if !counted(s.id.index()) {
+            continue;
+        }
         let d = schedule.dop[s.id.index()];
         match &schedule.placement[s.id.index()] {
             TaskPlacement::Single(srv) => add(*srv, d, s.id),
@@ -428,10 +473,16 @@ pub fn audit_placement(
     }
 
     // §4.5 rounding keeps Σ DoP within max(C, #stages): every stage needs
-    // at least one task even when C < #stages.
+    // at least one task even when C < #stages. Under a mask, both sides
+    // count the selected stages only.
     r.checks_run += 1;
     let budget = cluster.total_free().max(n);
-    let used = schedule.total_slots();
+    let used: u32 = dag
+        .stages()
+        .iter()
+        .filter(|s| counted(s.id.index()))
+        .map(|s| schedule.dop[s.id.index()])
+        .sum();
     if used > budget {
         r.findings.push(AuditFinding::error(
             CheckId::SlotBudget,
@@ -758,6 +809,45 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn splice_audit_counts_only_active_stages() {
+        let (dag, model, rm) = setup();
+        let s = joint_optimize(&dag, &model, &rm, Objective::Jct, &JointOptions::default());
+        let n = dag.num_stages();
+
+        // Treat the last two stages as the replanned suffix against a
+        // nearly-full cluster: the full static count would overflow, the
+        // masked count must not.
+        let mut active = vec![false; n];
+        active[n - 1] = true;
+        active[n - 2] = true;
+        let masked_need: u32 = (n - 2..n).map(|i| s.dop[i]).sum();
+        let tight = ResourceManager::from_free_slots(vec![masked_need; 1]);
+        // Re-place the suffix onto the one-server snapshot so the masked
+        // capacity check exercises the real placement path.
+        let mut spliced = s.clone();
+        spliced.scheduler = format!("{}+replan", s.scheduler);
+        for i in n - 2..n {
+            spliced.placement[i] = TaskPlacement::Single(ServerId(0));
+        }
+        for (e, c) in dag.edges().iter().zip(spliced.colocated.iter_mut()) {
+            if *c && (active[e.src.index()] || active[e.dst.index()]) {
+                *c = false;
+            }
+        }
+        let report = audit_splice(&dag, &tight, &spliced, &active);
+        assert!(report.is_clean(), "{}", report.render());
+
+        // One fewer free slot and the masked certificate must flag it.
+        let over = ResourceManager::from_free_slots(vec![masked_need - 1; 1]);
+        let report = audit_splice(&dag, &over, &spliced, &active);
+        assert!(!report.is_clean());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.check == CheckId::SlotCapacity || f.check == CheckId::SlotBudget));
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod lint;
 pub mod report;
 
 pub use checks::{
-    audit, audit_model, audit_placement, audit_ratios, audit_structure, audit_with,
-    derive_fractional_dops, AuditOptions,
+    audit, audit_model, audit_placement, audit_ratios, audit_splice, audit_structure,
+    audit_with, derive_fractional_dops, AuditOptions,
 };
 pub use report::{AuditFinding, AuditReport, CheckId, Severity};

@@ -15,6 +15,7 @@
 //! | `PANIC01` | `.unwrap()` outside tests/bins                    | core, exec, cluster, timemodel |
 //! | `PANIC02` | `.expect(..)` outside tests/bins                  | core, exec, cluster, timemodel |
 //! | `TRUNC01` | float `floor/ceil/round/sqrt` cast to `u32/u64/usize` | core, timemodel |
+//! | `SLEEP01` | wall-clock `thread::sleep` in shipped code        | exec, storage |
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -35,6 +36,11 @@ pub enum LintRule {
     /// Float rounding function cast straight to an unsigned integer in
     /// time-model math (silent truncation of negative/huge values).
     Trunc01FloatCast,
+    /// `thread::sleep` in shipped exec/storage code: every wall-clock
+    /// wait must sit behind a bounded attempt cap (an unbounded retry
+    /// loop sleeps forever on a permanently lost object). Sanctioned
+    /// sites document their cap in `audit.allow`.
+    Sleep01UnboundedSleep,
 }
 
 impl LintRule {
@@ -46,16 +52,18 @@ impl LintRule {
             LintRule::Panic01Unwrap => "PANIC01",
             LintRule::Panic02Expect => "PANIC02",
             LintRule::Trunc01FloatCast => "TRUNC01",
+            LintRule::Sleep01UnboundedSleep => "SLEEP01",
         }
     }
 
-    fn all() -> [LintRule; 5] {
+    fn all() -> [LintRule; 6] {
         [
             LintRule::Det01HashCollection,
             LintRule::Det02PartialCmpUnwrap,
             LintRule::Panic01Unwrap,
             LintRule::Panic02Expect,
             LintRule::Trunc01FloatCast,
+            LintRule::Sleep01UnboundedSleep,
         ]
     }
 
@@ -72,6 +80,9 @@ impl LintRule {
                 || rel.starts_with("crates/timemodel/"),
             LintRule::Trunc01FloatCast => {
                 rel.starts_with("crates/core/") || rel.starts_with("crates/timemodel/")
+            }
+            LintRule::Sleep01UnboundedSleep => {
+                rel.starts_with("crates/exec/") || rel.starts_with("crates/storage/")
             }
         }
     }
@@ -97,6 +108,9 @@ impl LintRule {
                         .iter()
                         .any(|f| line.contains(f))
             }
+            LintRule::Sleep01UnboundedSleep => {
+                line.contains("thread::sleep") || line.contains("sleep(Duration")
+            }
         }
     }
 
@@ -121,6 +135,10 @@ impl LintRule {
             LintRule::Trunc01FloatCast => {
                 "float->integer `as` cast truncates silently; document the rounding rule in \
                  audit.allow or use a checked conversion"
+            }
+            LintRule::Sleep01UnboundedSleep => {
+                "wall-clock sleep in exec/storage shipped code must sit behind a bounded \
+                 attempt cap; state the cap (max_retries / wait ceiling) in audit.allow"
             }
         }
     }
@@ -427,6 +445,33 @@ fn also_shipping() { Some(2).unwrap(); }
         let f = run("crates/core/src/x.rs", fl);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, LintRule::Trunc01FloatCast);
+    }
+
+    #[test]
+    fn sleep_rule_scoped_to_exec_and_storage() {
+        let src = "fn wait() {\n    std::thread::sleep(Duration::from_secs_f64(backoff));\n}\n";
+        let f = run("crates/storage/src/dataplane.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, LintRule::Sleep01UnboundedSleep);
+        assert_eq!(run("crates/exec/src/runner.rs", src).len(), 1);
+        // Out of scope: the bench harness may sleep freely.
+        assert!(run("crates/bench/src/adapt.rs", src).is_empty());
+        // `use std::thread::sleep; sleep(Duration...)` form still fires.
+        let bare = "sleep(Duration::from_millis(5));\n";
+        assert_eq!(run("crates/exec/src/runner.rs", bare).len(), 1);
+    }
+
+    #[test]
+    fn sleep_rule_honors_allowlist_cap_reason() {
+        let mut allow = Allowlist::parse(
+            "SLEEP01|crates/exec/src/runner.rs|from_secs_f64(backoff)|retry loop exits via max_retries; backoff capped at 5 ms\n",
+        )
+        .unwrap();
+        let src = "std::thread::sleep(Duration::from_secs_f64(backoff));\n";
+        let f = lint_source("crates/exec/src/runner.rs", src, &mut allow);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].allowed);
+        assert!(f[0].reason.as_deref().unwrap().contains("max_retries"));
     }
 
     #[test]

@@ -131,6 +131,24 @@ fn main() {
                     sched_traced = true;
                 }
             }
+            // Adaptive-execution sweep: drift × loss × recovery policy,
+            // frozen vs adaptive engine. `adapt` runs the full grid;
+            // `adapt-smoke` the CI extremes. Both write BENCH_adapt.json
+            // (deterministic: same seed → byte-identical artifact).
+            "adapt" | "adapt-smoke" => {
+                let rows = if t == "adapt" {
+                    ditto_bench::adapt_sweep()
+                } else {
+                    ditto_bench::adapt_sweep_smoke()
+                };
+                emit(&rows, json);
+                std::fs::write("BENCH_adapt.json", write_json(&rows)).expect("write BENCH_adapt.json");
+                println!("wrote BENCH_adapt.json ({} rows)", rows.len());
+                if rows.iter().any(|r| !r.audit_clean) {
+                    eprintln!("adaptive sweep: a replan failed its feasibility certificate");
+                    std::process::exit(1);
+                }
+            }
             "telemetry" => emit(&ditto_bench::telemetry_overhead(), json),
             // Certificate sweep: audit every scheduler's output on 32
             // seeded random DAGs × both objectives. Exits nonzero if any
@@ -174,7 +192,7 @@ fn main() {
                 println!("view trace: load q95_trace.json in https://ui.perfetto.dev");
             }
             other => eprintln!(
-                "unknown target {other:?}; known: {all:?} (+ \"sched\", \"sched-smoke\" — not in `all`)"
+                "unknown target {other:?}; known: {all:?} (+ \"sched\", \"sched-smoke\", \"adapt\", \"adapt-smoke\" — not in `all`)"
             ),
         }
     }

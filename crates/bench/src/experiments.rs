@@ -791,7 +791,7 @@ pub fn fault_sweep() -> Vec<FaultSweepRow> {
                     crash_prob: rate,
                     straggler_prob: rate,
                     straggler_slowdown: 4.0,
-                    seed: 17,
+                    ..FaultRates::none(17)
                 });
                 let (_, m) =
                     try_simulate_with_faults(&p.plan.dag, &schedule, &p.gt, &plan, policy, None)

@@ -18,6 +18,7 @@
 //! (Tables 1 and 2).
 
 pub mod ablations;
+pub mod adapt;
 pub mod audit_sweep;
 pub mod experiments;
 pub mod report;
@@ -26,6 +27,7 @@ pub mod setup;
 pub mod telemetry;
 
 pub use ablations::all_ablations;
+pub use adapt::{adapt_sweep, adapt_sweep_grid, adapt_sweep_smoke, AdaptSweepRow};
 pub use audit_sweep::{audit_sweep, sweep_is_clean, AuditSweepRow, AUDIT_SWEEP_SEEDS};
 pub use experiments::*;
 pub use report::{render_rows, write_json};

@@ -31,7 +31,7 @@ fn exemplar_faults() -> (FaultPlan, RecoveryPolicy) {
             crash_prob: TRACED_FAULT_RATE,
             straggler_prob: TRACED_FAULT_RATE,
             straggler_slowdown: 4.0,
-            seed: TRACED_SEED,
+            ..FaultRates::none(TRACED_SEED)
         }),
         RecoveryPolicy {
             max_retries: 16,

@@ -25,5 +25,5 @@ pub mod server;
 pub use cluster::Cluster;
 pub use distribution::SlotDistribution;
 pub use manager::ResourceManager;
-pub use monitor::{RuntimeMonitor, TaskRecord};
+pub use monitor::{DriftConfig, DriftDetector, DriftEvent, RuntimeMonitor, TaskRecord};
 pub use server::{Server, ServerId};

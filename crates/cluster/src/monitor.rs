@@ -158,6 +158,222 @@ impl RuntimeMonitor {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Drift detection
+// ---------------------------------------------------------------------------
+
+/// Configuration of the [`DriftDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Multiplicative tolerance band around 1.0: a stage whose smoothed
+    /// observed/predicted time ratio leaves `[1/band, band]` is drifting.
+    pub band: f64,
+    /// EWMA smoothing weight on the newest sample, in `(0, 1]`.
+    pub ewma_alpha: f64,
+    /// Minimum samples for a stage before it can fire a [`DriftEvent`]
+    /// (single-task noise must not trigger a replan).
+    pub min_samples: u32,
+    /// Predictions below this are treated as "no signal" (ratio 1.0).
+    pub eps: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            // 25% sustained deviation before the planner is disturbed; the
+            // paper's own model error is well inside this (Fig. 11).
+            band: 1.25,
+            ewma_alpha: 0.4,
+            min_samples: 2,
+            eps: 1e-9,
+        }
+    }
+}
+
+/// A stage's realized time has left the configured band around its
+/// prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftEvent {
+    /// The drifting stage.
+    pub stage: u32,
+    /// Smoothed observed/predicted total-time ratio (> band or < 1/band).
+    pub factor: f64,
+    /// Smoothed per-step ratios at the moment of detection.
+    pub step_factors: StepTimings,
+    /// Samples behind the estimate.
+    pub samples: u32,
+}
+
+/// Per-step EWMA state for one scope (a stage, or the whole job).
+#[derive(Debug, Clone, Copy)]
+struct EwmaState {
+    steps: StepTimings,
+    total: f64,
+    samples: u32,
+}
+
+impl EwmaState {
+    fn new() -> Self {
+        EwmaState {
+            steps: StepTimings::new(1.0, 1.0, 1.0, 1.0),
+            total: 1.0,
+            samples: 0,
+        }
+    }
+
+    fn update(&mut self, alpha: f64, step_ratio: &StepTimings, total_ratio: f64) {
+        if self.samples == 0 {
+            self.steps = *step_ratio;
+            self.total = total_ratio;
+        } else {
+            let blend = |old: f64, new: f64| (1.0 - alpha) * old + alpha * new;
+            self.steps = StepTimings::new(
+                blend(self.steps.setup, step_ratio.setup),
+                blend(self.steps.read, step_ratio.read),
+                blend(self.steps.compute, step_ratio.compute),
+                blend(self.steps.write, step_ratio.write),
+            );
+            self.total = blend(self.total, total_ratio);
+        }
+        self.samples += 1;
+    }
+}
+
+/// Online detector of execution-time model drift (paper §4.2 fits offline;
+/// this is the runtime feedback loop on top).
+///
+/// Feed it one `(observed, predicted)` [`StepTimings`] pair per completed
+/// task; it maintains per-stage and job-global EWMAs of the per-step and
+/// total observed/predicted ratios. When a stage's smoothed total ratio
+/// leaves the configured multiplicative band (with enough samples), the
+/// observation returns a typed [`DriftEvent`] — the signal the adaptive
+/// executor uses to re-fit the model and re-optimize the schedule suffix.
+#[derive(Debug)]
+pub struct DriftDetector {
+    config: DriftConfig,
+    stages: Vec<EwmaState>,
+    /// Stage-type class per stage (empty = no class layer).
+    class_of: Vec<u32>,
+    /// Per-class EWMAs, indexed by the values in `class_of`.
+    classes: Vec<EwmaState>,
+    global: EwmaState,
+}
+
+impl DriftDetector {
+    /// Detector for an `n_stages`-stage job.
+    pub fn new(n_stages: usize, config: DriftConfig) -> Self {
+        DriftDetector {
+            config,
+            stages: vec![EwmaState::new(); n_stages],
+            class_of: Vec::new(),
+            classes: Vec::new(),
+            global: EwmaState::new(),
+        }
+    }
+
+    /// Detector with a stage-*type* class layer: `class_of[stage]` names
+    /// an equivalence class (e.g. the `StageKind` discriminant), and each
+    /// observation also updates a per-class EWMA. Corrections learned
+    /// from a completed map stage then transfer to maps that have not
+    /// run yet — the only way online feedback can help a stage before
+    /// its own first sample. Falls back between the per-stage, class,
+    /// and global estimates in that order via [`Self::class_correction`].
+    pub fn with_classes(class_of: &[u32], config: DriftConfig) -> Self {
+        let n_classes = class_of.iter().max().map_or(0, |&m| m as usize + 1);
+        DriftDetector {
+            config,
+            stages: vec![EwmaState::new(); class_of.len()],
+            class_of: class_of.to_vec(),
+            classes: vec![EwmaState::new(); n_classes],
+            global: EwmaState::new(),
+        }
+    }
+
+    /// The configured band and smoothing parameters.
+    pub fn config(&self) -> DriftConfig {
+        self.config
+    }
+
+    /// Record one completed task's observed vs. predicted step timings.
+    /// Returns a [`DriftEvent`] when the stage's smoothed total ratio has
+    /// left `[1/band, band]` and the stage has `min_samples` samples.
+    pub fn observe(
+        &mut self,
+        stage: u32,
+        observed: &StepTimings,
+        predicted: &StepTimings,
+    ) -> Option<DriftEvent> {
+        let eps = self.config.eps;
+        let step_ratio = observed.ratio_to(predicted, eps);
+        let total_ratio = if predicted.total() > eps {
+            observed.total() / predicted.total()
+        } else {
+            1.0
+        };
+        let st = &mut self.stages[stage as usize];
+        st.update(self.config.ewma_alpha, &step_ratio, total_ratio);
+        if let Some(&class) = self.class_of.get(stage as usize) {
+            self.classes[class as usize].update(self.config.ewma_alpha, &step_ratio, total_ratio);
+        }
+        self.global
+            .update(self.config.ewma_alpha, &step_ratio, total_ratio);
+        let st = &self.stages[stage as usize];
+        let out_of_band = st.total > self.config.band || st.total < 1.0 / self.config.band;
+        if st.samples >= self.config.min_samples && out_of_band {
+            Some(DriftEvent {
+                stage,
+                factor: st.total,
+                step_factors: st.steps,
+                samples: st.samples,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Smoothed per-step correction factors for one stage, or `None` if
+    /// the stage has no samples yet.
+    pub fn stage_correction(&self, stage: u32) -> Option<StepTimings> {
+        let st = self.stages.get(stage as usize)?;
+        (st.samples > 0).then_some(st.steps)
+    }
+
+    /// Smoothed per-step correction factors for the *class* of `stage`
+    /// (see [`Self::with_classes`]), or `None` if the detector has no
+    /// class layer or the class has no samples yet. This is what makes
+    /// drift learned on one map stage apply to a map stage that has not
+    /// started.
+    pub fn class_correction(&self, stage: u32) -> Option<StepTimings> {
+        let class = *self.class_of.get(stage as usize)?;
+        let st = self.classes.get(class as usize)?;
+        (st.samples > 0).then_some(st.steps)
+    }
+
+    /// Samples observed for the class of `stage` (0 without a class layer).
+    pub fn class_samples(&self, stage: u32) -> u32 {
+        self.class_of
+            .get(stage as usize)
+            .and_then(|&c| self.classes.get(c as usize))
+            .map_or(0, |s| s.samples)
+    }
+
+    /// Smoothed per-step correction factors across all observed tasks —
+    /// the fallback applied to stages that have not run yet.
+    pub fn global_correction(&self) -> StepTimings {
+        self.global.steps
+    }
+
+    /// Samples observed for one stage.
+    pub fn stage_samples(&self, stage: u32) -> u32 {
+        self.stages.get(stage as usize).map_or(0, |s| s.samples)
+    }
+
+    /// Total samples observed.
+    pub fn total_samples(&self) -> u32 {
+        self.global.samples
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +461,85 @@ mod tests {
         assert!(!m.is_empty());
         m.clear();
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn drift_fires_only_after_min_samples_and_out_of_band() {
+        let mut d = DriftDetector::new(2, DriftConfig::default());
+        let pred = StepTimings::new(0.5, 1.0, 2.0, 0.5);
+        // In-band observation: nothing fires.
+        assert!(d.observe(0, &StepTimings::new(0.5, 1.1, 2.1, 0.5), &pred).is_none());
+        // First wildly-slow sample: still below min_samples... but the
+        // second has both the samples and the smoothed ratio out of band.
+        let slow = StepTimings::new(0.5, 1.0, 8.0, 0.5); // compute 4x
+        assert!(d.observe(1, &slow, &pred).is_none());
+        let ev = d.observe(1, &slow, &pred).expect("drift should fire");
+        assert_eq!(ev.stage, 1);
+        assert!(ev.factor > 1.25, "factor {}", ev.factor);
+        assert!(ev.step_factors.compute > 3.0);
+        assert!((ev.step_factors.read - 1.0).abs() < 1e-9);
+        assert_eq!(ev.samples, 2);
+    }
+
+    #[test]
+    fn drift_fires_on_sustained_speedup_too() {
+        let cfg = DriftConfig {
+            min_samples: 2,
+            ..Default::default()
+        };
+        let mut d = DriftDetector::new(1, cfg);
+        let pred = StepTimings::new(0.0, 1.0, 4.0, 1.0);
+        let fast = StepTimings::new(0.0, 0.5, 2.0, 0.5);
+        assert!(d.observe(0, &fast, &pred).is_none());
+        let ev = d.observe(0, &fast, &pred).expect("speedup drift");
+        assert!(ev.factor < 1.0 / 1.25);
+    }
+
+    #[test]
+    fn corrections_track_per_stage_and_global() {
+        let mut d = DriftDetector::new(3, DriftConfig::default());
+        let pred = StepTimings::new(0.0, 1.0, 1.0, 1.0);
+        d.observe(0, &StepTimings::new(0.0, 2.0, 2.0, 2.0), &pred);
+        assert_eq!(d.stage_samples(0), 1);
+        assert_eq!(d.stage_samples(1), 0);
+        assert!(d.stage_correction(1).is_none());
+        let c0 = d.stage_correction(0).unwrap();
+        assert!((c0.compute - 2.0).abs() < 1e-9);
+        // Setup ratio is neutral when the prediction has no setup signal.
+        assert!((c0.setup - 1.0).abs() < 1e-9);
+        let g = d.global_correction();
+        assert!((g.read - 2.0).abs() < 1e-9);
+        assert_eq!(d.total_samples(), 1);
+    }
+
+    #[test]
+    fn class_layer_transfers_corrections_to_unobserved_stages() {
+        // Stages 0 and 2 are class 0 ("map"), stage 1 is class 1. A 2x
+        // compute observation on stage 0 must become available to stage 2
+        // through the class estimate before stage 2 has any samples.
+        let mut d = DriftDetector::with_classes(&[0, 1, 0], DriftConfig::default());
+        let pred = StepTimings::new(0.0, 1.0, 1.0, 1.0);
+        d.observe(0, &StepTimings::new(0.0, 1.0, 2.0, 1.0), &pred);
+        assert!(d.stage_correction(2).is_none(), "stage 2 itself unobserved");
+        let c = d.class_correction(2).expect("class estimate transfers");
+        assert!((c.compute - 2.0).abs() < 1e-9);
+        assert_eq!(d.class_samples(2), 1);
+        assert!(d.class_correction(1).is_none(), "other class untouched");
+        // A detector without a class layer never transfers.
+        let mut plain = DriftDetector::new(3, DriftConfig::default());
+        plain.observe(0, &StepTimings::new(0.0, 1.0, 2.0, 1.0), &pred);
+        assert!(plain.class_correction(2).is_none());
+        assert_eq!(plain.class_samples(0), 0);
+    }
+
+    #[test]
+    fn zero_prediction_is_neutral_not_infinite() {
+        let mut d = DriftDetector::new(1, DriftConfig::default());
+        let pred = StepTimings::zero();
+        for _ in 0..5 {
+            assert!(d.observe(0, &StepTimings::new(1.0, 1.0, 1.0, 1.0), &pred).is_none());
+        }
+        assert_eq!(d.global_correction().as_tuple(), (1.0, 1.0, 1.0, 1.0));
     }
 
     #[test]

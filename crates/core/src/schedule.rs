@@ -127,6 +127,83 @@ impl Schedule {
         Ok(())
     }
 
+    /// Splice a replanned schedule into this one: stages in the `suffix`
+    /// mask take the replanned DoP and placement, everything else keeps the
+    /// original decision. Edges crossing the prefix/suffix boundary are
+    /// conservatively treated as external (not co-located), since the two
+    /// halves were placed by different optimizer runs and any co-location
+    /// claim across the seam is unverified. Groups are rebuilt from the
+    /// surviving co-location mask (connected components over colocated
+    /// edges), so the spliced schedule stays self-consistent under
+    /// [`Schedule::validate`] and the auditor's co-location certificate.
+    /// The scheduler name gains a `+replan` suffix so downstream consumers
+    /// (audits, figures) can tell a spliced schedule apart.
+    ///
+    /// # Panics
+    /// Panics if `suffix.len() != dag.num_stages()` or the two schedules
+    /// do not both cover `dag`.
+    pub fn splice(&self, dag: &JobDag, replanned: &Schedule, suffix: &[bool]) -> Schedule {
+        let n = dag.num_stages();
+        assert_eq!(suffix.len(), n, "suffix mask must cover every stage");
+        let mut dop = self.dop.clone();
+        let mut placement = self.placement.clone();
+        for i in 0..n {
+            if suffix[i] {
+                dop[i] = replanned.dop[i];
+                placement[i] = replanned.placement[i].clone();
+            }
+        }
+        let colocated: Vec<bool> = dag
+            .edges()
+            .iter()
+            .map(|e| match (suffix[e.src.index()], suffix[e.dst.index()]) {
+                (true, true) => replanned.colocated[e.id.index()],
+                (false, false) => self.colocated[e.id.index()],
+                _ => false,
+            })
+            .collect();
+        // Rebuild groups as connected components over the surviving
+        // colocated edges (union-find with path halving).
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for e in dag.edges() {
+            if colocated[e.id.index()] {
+                let (a, b) = (
+                    find(&mut parent, e.src.index()),
+                    find(&mut parent, e.dst.index()),
+                );
+                if a != b {
+                    parent[a.max(b)] = a.min(b);
+                }
+            }
+        }
+        let mut groups: Vec<Vec<StageId>> = Vec::new();
+        let mut group_of = vec![usize::MAX; n];
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            if group_of[root] == usize::MAX {
+                group_of[root] = groups.len();
+                groups.push(Vec::new());
+            }
+            group_of[i] = group_of[root];
+            groups[group_of[i]].push(StageId(i as u32));
+        }
+        Schedule {
+            scheduler: format!("{}+replan", self.scheduler),
+            dop,
+            groups,
+            group_of,
+            colocated,
+            placement,
+        }
+    }
+
     /// Human-readable description for examples and traces.
     pub fn describe(&self, dag: &JobDag) -> String {
         use std::fmt::Write as _;
@@ -171,6 +248,63 @@ mod tests {
         let p = TaskPlacement::Single(ServerId(2));
         assert_eq!(p.server_of_task(99), ServerId(2));
         assert_eq!(p.servers(), vec![ServerId(2)]);
+    }
+
+    #[test]
+    fn splice_takes_suffix_and_drops_boundary_colocation() {
+        let dag = ditto_dag::generators::fig1_join();
+        let orig = Schedule {
+            scheduler: "ditto-jct".into(),
+            dop: vec![4, 2, 2],
+            groups: vec![vec![StageId(0), StageId(2)], vec![StageId(1)]],
+            group_of: vec![0, 1, 0],
+            colocated: vec![true, false],
+            placement: vec![
+                TaskPlacement::Single(ServerId(0)),
+                TaskPlacement::Single(ServerId(1)),
+                TaskPlacement::Single(ServerId(0)),
+            ],
+        };
+        let replanned = Schedule {
+            scheduler: "ditto-jct".into(),
+            dop: vec![8, 6, 5],
+            groups: vec![vec![StageId(0)], vec![StageId(1)], vec![StageId(2)]],
+            group_of: vec![0, 1, 2],
+            colocated: vec![false, false],
+            placement: vec![
+                TaskPlacement::Single(ServerId(1)),
+                TaskPlacement::Single(ServerId(1)),
+                TaskPlacement::Spread(vec![(ServerId(1), 5)]),
+            ],
+        };
+        // Suffix = final stage only. Edge 0 (s0→s2) crosses the boundary.
+        let spliced = orig.splice(&dag, &replanned, &[false, false, true]);
+        assert_eq!(spliced.scheduler, "ditto-jct+replan");
+        assert_eq!(spliced.dop, vec![4, 2, 5]);
+        assert_eq!(spliced.placement[0], TaskPlacement::Single(ServerId(0)));
+        assert_eq!(
+            spliced.placement[2],
+            TaskPlacement::Spread(vec![(ServerId(1), 5)])
+        );
+        assert_eq!(
+            spliced.colocated,
+            vec![false, false],
+            "boundary edge must lose its co-location claim"
+        );
+        assert!(spliced.validate(&dag).is_ok());
+        // Empty suffix keeps every decision, and the surviving colocated
+        // edge (s0→s2) regroups its endpoints so validate stays clean.
+        let same = orig.splice(&dag, &replanned, &[false, false, false]);
+        assert_eq!(same.dop, orig.dop);
+        assert_eq!(same.placement, orig.placement);
+        assert_eq!(same.colocated, orig.colocated);
+        assert_eq!(same.group_of[0], same.group_of[2]);
+        assert_ne!(same.group_of[0], same.group_of[1]);
+        assert!(same.validate(&dag).is_ok());
+        // Full suffix is the replanned schedule.
+        let full = orig.splice(&dag, &replanned, &[true, true, true]);
+        assert_eq!(full.dop, replanned.dop);
+        assert_eq!(full.colocated, replanned.colocated);
     }
 
     #[test]

@@ -1,0 +1,691 @@
+//! Adaptive execution: online drift detection + elastic suffix
+//! re-optimization.
+//!
+//! The paper's scheduler (§4) plans once, against a model fitted offline
+//! (§4.2), and the plan is frozen for the run. This module closes the
+//! loop at runtime:
+//!
+//! 1. after every completed stage, a [`DriftDetector`] compares the
+//!    realized mean step timings against the expected ones and maintains
+//!    per-stage / job-global EWMA correction factors;
+//! 2. when a stage's smoothed ratio leaves the configured band, the
+//!    fitted [`JobTimeModel`](ditto_timemodel::JobTimeModel) is
+//!    re-corrected with the learned per-step factors
+//!    ([`ModelCorrections`]), the *not-yet-started suffix* of the DAG is
+//!    re-optimized by [`ditto_core::joint_optimize`] against the current
+//!    free-slot snapshot (in-flight prefix work deducted), and the new
+//!    suffix is spliced into the running schedule via
+//!    [`Schedule::splice`];
+//! 3. every spliced schedule must pass the `ditto-audit` feasibility
+//!    certificate ([`ditto_audit::audit_splice`]) before it replaces the
+//!    current plan — a replan that cannot prove itself feasible is a
+//!    hard [`ExecError::InvalidSchedule`], not a silent fallback;
+//! 4. each accepted or rejected replan is recorded as a [`ReplanRecord`]
+//!    on the [`ExecutionTrace`].
+//!
+//! The adaptive engine drives the exact same per-stage simulator
+//! ([`sim_stage`](crate::faults)) as the frozen fault engine, so with no
+//! drift and no object faults it is **bit-identical** to
+//! [`try_simulate_with_faults`](crate::faults::try_simulate_with_faults)
+//! — the property the `adaptive_properties` suite pins down.
+//!
+//! Escalation ladder (DESIGN.md §6g): storage read retry → lineage
+//! re-execution of the producing task (both inside `sim_stage`; the
+//! recovery wait inflates the stage's observed *read* step) → suffix
+//! replan (this module, when the inflation leaves the band) → typed
+//! failure.
+
+use crate::error::ExecError;
+use crate::faults::{
+    finish_pass, sim_stage, FaultPlan, RecoveryPolicy, ReschedulingContext, SimState,
+};
+use crate::groundtruth::GroundTruth;
+use crate::metrics::JobMetrics;
+use crate::trace::ExecutionTrace;
+use ditto_cluster::{DriftConfig, DriftDetector, ServerId};
+use ditto_core::{joint_optimize_traced, predicted_jct, Schedule};
+use ditto_dag::JobDag;
+use ditto_obs::{Recorder, StepTimings, Track};
+use ditto_timemodel::{ModelCorrections, StepCorrections};
+
+/// Configuration of the adaptive execution loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Drift-detector band and smoothing. The adaptive default lowers
+    /// `min_samples` to 1: the detector is fed one observation per
+    /// *stage* (the mean over its tasks), and each stage runs once.
+    pub drift: DriftConfig,
+    /// Maximum suffix replans per run (each one re-runs the joint
+    /// optimizer; unbounded replanning on a noisy signal would thrash).
+    pub max_replans: u32,
+    /// Re-arm threshold: after a replan, the next one requires the
+    /// smoothed drift factor to have moved by at least this relative
+    /// amount — a constant drift must not re-trigger on every stage.
+    pub re_arm: f64,
+    /// Minimum *relative* predicted-JCT improvement before a replan is
+    /// applied. The corrected model is still a model: its own error under
+    /// drift is easily a few percent, so a predicted gain inside that
+    /// noise floor is as likely to hurt as help once splice costs (the
+    /// conservatively-externalized seam edges) are realized. Replans
+    /// below the margin are recorded but not applied.
+    pub min_gain: f64,
+    /// Run the `ditto-audit` feasibility certificate on every spliced
+    /// schedule and fail the run if it is not clean.
+    pub audit_splices: bool,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            drift: DriftConfig {
+                min_samples: 1,
+                ..Default::default()
+            },
+            max_replans: 4,
+            re_arm: 0.15,
+            min_gain: 0.1,
+            audit_splices: true,
+        }
+    }
+}
+
+/// Why a replan fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum ReplanTrigger {
+    /// Sustained deviation of realized step times from the expectation
+    /// (environmental drift, stragglers).
+    Drift,
+    /// Deviation dominated by read-step inflation from lineage recovery
+    /// of lost or corrupt intermediate objects — data-plane trouble
+    /// escalated to the planner.
+    ObjectRecovery,
+}
+
+/// One suffix re-optimization, recorded on the [`ExecutionTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct ReplanRecord {
+    /// What tripped the detector.
+    pub trigger: ReplanTrigger,
+    /// Stage whose completion fired the drift event.
+    pub at_stage: u32,
+    /// Simulated time of the replan decision (the firing stage's end).
+    pub sim_time: f64,
+    /// Smoothed observed/expected total-time factor at the decision.
+    pub factor: f64,
+    /// Job-global per-step correction factors applied to the model.
+    pub corrections: StepCorrections,
+    /// Stages in the re-optimized suffix.
+    pub suffix_stages: u32,
+    /// Predicted JCT of the *current* schedule under the corrected model.
+    pub old_predicted_jct: f64,
+    /// Predicted JCT of the spliced schedule under the corrected model.
+    pub new_predicted_jct: f64,
+    /// Risk adjustment added to the comparison, seconds: the spliced
+    /// plan's expected lineage-recovery delay minus the incumbent's,
+    /// under the object-loss rate observed so far in this run. Zero when
+    /// no losses have been observed.
+    pub risk_penalty: f64,
+    /// Whether the feasibility certificate on the spliced schedule came
+    /// back clean (always true for applied replans when auditing is on).
+    pub audit_clean: bool,
+    /// Whether the splice replaced the running schedule (a replan whose
+    /// corrected-model prediction does not beat the current plan is
+    /// recorded but not applied).
+    pub applied: bool,
+}
+
+/// Simulate `schedule` on `dag` adaptively: same fault semantics as
+/// [`try_simulate_with_faults`](crate::faults::try_simulate_with_faults),
+/// plus online drift detection and elastic suffix re-optimization through
+/// `ctx`. See the module docs for the loop.
+pub fn try_simulate_adaptive(
+    dag: &JobDag,
+    schedule: &Schedule,
+    gt: &GroundTruth,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+    ctx: &ReschedulingContext<'_>,
+    cfg: &AdaptiveConfig,
+) -> Result<(ExecutionTrace, JobMetrics), ExecError> {
+    try_simulate_adaptive_traced(dag, schedule, gt, plan, policy, ctx, cfg, &Recorder::disabled())
+}
+
+/// [`try_simulate_adaptive`] with telemetry: replan decisions land on the
+/// scheduler track (`sched.replan` events) alongside the usual task/stage
+/// spans and fault events.
+#[allow(clippy::too_many_arguments)]
+pub fn try_simulate_adaptive_traced(
+    dag: &JobDag,
+    schedule: &Schedule,
+    gt: &GroundTruth,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+    ctx: &ReschedulingContext<'_>,
+    cfg: &AdaptiveConfig,
+    obs: &Recorder,
+) -> Result<(ExecutionTrace, JobMetrics), ExecError> {
+    schedule.validate(dag).map_err(ExecError::InvalidSchedule)?;
+    let n = dag.num_stages();
+    let order = dag.topo_order().map_err(|_| ExecError::CyclicDag)?;
+    let mut state = SimState::new(dag, plan, schedule);
+    state.announce(obs);
+    // The detector's class layer keys EWMAs by stage *type* (the ISSUE's
+    // per-stage-type corrections): drift learned from a completed map
+    // stage transfers to maps that have not started — per-stage estimates
+    // alone can only correct stages that already ran, which the suffix
+    // replan no longer cares about.
+    let class_of: Vec<u32> = dag.stages().iter().map(|st| st.kind as u32).collect();
+    let mut detector = DriftDetector::with_classes(&class_of, cfg.drift);
+    let mut cur = schedule.clone();
+    let mut replans: Vec<ReplanRecord> = Vec::new();
+    let mut last_factor: Option<f64> = None;
+    let mut reexecs_seen = 0u32;
+
+    for (pos, &s) in order.iter().enumerate() {
+        sim_stage(&mut state, dag, &cur, gt, plan, policy, obs, s)?;
+        let event = detector.observe(
+            s.0,
+            &state.stage_observed[s.index()],
+            &state.stage_clean[s.index()],
+        );
+        let new_reexecs = state.stats.lineage_reexecs - reexecs_seen;
+        reexecs_seen = state.stats.lineage_reexecs;
+        let Some(ev) = event else { continue };
+        // Gates: replan budget, and re-arm (a constant drift level must
+        // not re-trigger a replan after every stage).
+        if replans.len() >= cfg.max_replans as usize {
+            continue;
+        }
+        if let Some(lf) = last_factor {
+            if ((ev.factor - lf) / lf).abs() < cfg.re_arm {
+                continue;
+            }
+        }
+        let now = state.stage_end[s.index()];
+        // The elastic suffix: stages that cannot have *launched* yet.
+        // Topo position is not enough — a later source stage (a second
+        // table scan) launched at t=0 and may already be finished by
+        // `now`; re-doping it would be time travel, and splicing it out
+        // of its group externalizes edges whose data already moved
+        // through shared memory. A stage is replannable iff its JIT
+        // launch is gated behind `now`: some producer is itself
+        // replannable, or already simulated with its end at/after `now`
+        // (still in flight counts). Everything else is frozen at its
+        // incumbent DoP and placement.
+        let mut simulated = vec![false; n];
+        for &t in &order[..=pos] {
+            simulated[t.index()] = true;
+        }
+        let mut suffix = vec![false; n];
+        for &t in &order[pos + 1..] {
+            suffix[t.index()] = dag.in_edges(t).any(|e| {
+                let p = e.src.index();
+                suffix[p] || (simulated[p] && state.stage_end[p] >= now - 1e-9)
+            });
+        }
+        let n_suffix = suffix.iter().filter(|&&b| b).count();
+        if n_suffix == 0 {
+            continue; // nothing downstream is still movable
+        }
+        // Learned corrections, most-specific first: the stage's own
+        // samples, else its stage-type class (maps correct maps that have
+        // not run), else *identity*. The job-global EWMA is deliberately
+        // not used as a scaling fallback: after one drifted map it would
+        // smear the map's factor over joins and reduces too, turning a
+        // differential signal back into a uniform one — and uniform drift
+        // scales α and β together, which moves no DoP ratios (Eq. 3/4).
+        // It is still recorded on the ReplanRecord as the summary factor.
+        let to_corr = |t: StepTimings| StepCorrections {
+            read: t.read,
+            compute: t.compute,
+            write: t.write,
+        };
+        let corrections = ModelCorrections {
+            per_stage: (0..n)
+                .map(|i| {
+                    Some(
+                        detector
+                            .stage_correction(i as u32)
+                            .or_else(|| detector.class_correction(i as u32))
+                            .map(to_corr)
+                            .unwrap_or_else(StepCorrections::identity),
+                    )
+                })
+                .collect(),
+            global: to_corr(detector.global_correction()),
+        };
+        // Corrections price the future; the mask erases the past. Without
+        // it, joint_optimize re-plans the *whole* DAG and a 3×-corrected
+        // completed scan hogs slots it no longer needs, starving the very
+        // suffix the replan is for (and making every replanned schedule
+        // predict worse than the incumbent). Prefix stages' steps and
+        // already-written edge outputs are zeroed; seam reads the suffix
+        // still pays stay at full corrected cost. Both predicted JCTs
+        // below use the same masked model, so the apply decision compares
+        // suffix-only futures.
+        let done: Vec<bool> = (0..n).map(|i| !suffix[i]).collect();
+        let corrected = ctx.model.corrected(dag, &corrections).masked_completed(dag, &done);
+        // Free-slot snapshot at the decision instant: the schedule's
+        // original snapshot, minus a failed server (if it already died),
+        // minus slots still held by in-flight prefix stages.
+        let mut rm = ctx.resources.clone();
+        if let Some((failed, at)) = state.failure {
+            if at <= now {
+                rm.fail_server(failed.index());
+            }
+        }
+        for &p in &order[..=pos] {
+            if state.stage_end[p.index()] <= now {
+                continue; // finished; its slots are free again
+            }
+            for t in 0..cur.dop[p.index()] {
+                let srv: ServerId = cur.placement[p.index()].server_of_task(t);
+                if rm.free_on(srv) > 0 {
+                    let _ = rm.reserve(srv, 1);
+                }
+            }
+        }
+        // Frozen-but-unsimulated stages (launched before `now`, end not
+        // yet known): conservatively assume they still hold their slots.
+        for &p in &order[pos + 1..] {
+            if suffix[p.index()] {
+                continue;
+            }
+            for t in 0..cur.dop[p.index()] {
+                let srv: ServerId = cur.placement[p.index()].server_of_task(t);
+                if rm.free_on(srv) > 0 {
+                    let _ = rm.reserve(srv, 1);
+                }
+            }
+        }
+        if rm.total_free() < n as u32 {
+            // Not enough headroom to even re-plan; keep the frozen plan.
+            continue;
+        }
+        let replanned =
+            joint_optimize_traced(dag, &corrected, &rm, ctx.objective, &ctx.options, obs);
+        let spliced = cur.splice(dag, &replanned, &suffix);
+        // Feasibility certificate: the optimizer planned against the
+        // deducted snapshot, but the splice mixes in prefix placements it
+        // never saw — re-count the suffix before trusting it.
+        let audit_clean = if cfg.audit_splices {
+            let report = ditto_audit::audit_splice(dag, &rm, &spliced, &suffix);
+            if !report.is_clean() {
+                return Err(ExecError::InvalidSchedule(report.render()));
+            }
+            true
+        } else {
+            false
+        };
+        let dop_f = |sc: &Schedule| sc.dop.iter().map(|&d| d as f64).collect::<Vec<f64>>();
+        let old_predicted_jct = predicted_jct(dag, &corrected, &dop_f(&cur), &cur.colocated);
+        let new_predicted_jct =
+            predicted_jct(dag, &corrected, &dop_f(&spliced), &spliced.colocated);
+        // Risk adjustment: on a loss-prone store every external read is a
+        // fault surface. A replan that externalizes seam edges or raises
+        // the DoP of externally-reading stages buys its predicted gain
+        // with extra loss draws — the very splice that wins 10% on a
+        // clean store can lose it back to recovery waits at a 5% loss
+        // rate. Estimate the per-read loss rate and mean recovery delay
+        // from this run's own observations and charge each plan its
+        // expected recovery delay before comparing.
+        let recoveries = state.stats.object_losses + state.stats.object_corruptions;
+        let (old_risk, new_risk) = if recoveries > 0 {
+            let mut reads_seen: u64 = 0;
+            for &t in &order[..=pos] {
+                for e in dag.in_edges(t) {
+                    if !cur.colocated[e.id.index()] {
+                        reads_seen += u64::from(cur.dop[t.index()]);
+                    }
+                }
+            }
+            let p_loss = (f64::from(recoveries) / reads_seen.max(1) as f64).min(1.0);
+            let avg_rec = state.stats.recovery_delay_s / f64::from(recoveries);
+            (
+                expected_recovery_delay(dag, &cur, &suffix, p_loss, avg_rec),
+                expected_recovery_delay(dag, &spliced, &suffix, p_loss, avg_rec),
+            )
+        } else {
+            (0.0, 0.0)
+        };
+        let risk_penalty = new_risk - old_risk;
+        let applied = new_predicted_jct + new_risk
+            < (old_predicted_jct + old_risk) * (1.0 - cfg.min_gain) - 1e-12;
+        let trigger = if new_reexecs > 0 && ev.step_factors.read > ev.step_factors.compute {
+            ReplanTrigger::ObjectRecovery
+        } else {
+            ReplanTrigger::Drift
+        };
+        if obs.is_enabled() {
+            obs.event(
+                "sched.replan",
+                Track::scheduler(0),
+                now,
+                vec![
+                    ("trigger", match trigger {
+                        ReplanTrigger::Drift => "drift",
+                        ReplanTrigger::ObjectRecovery => "object-recovery",
+                    }
+                    .into()),
+                    ("at_stage", s.0.into()),
+                    ("factor", ev.factor.into()),
+                    ("suffix_stages", (n_suffix as u64).into()),
+                    ("old_predicted_jct", old_predicted_jct.into()),
+                    ("new_predicted_jct", new_predicted_jct.into()),
+                    ("applied", if applied { 1u64 } else { 0u64 }.into()),
+                ],
+            );
+        }
+        replans.push(ReplanRecord {
+            trigger,
+            at_stage: s.0,
+            sim_time: now,
+            factor: ev.factor,
+            corrections: corrections.global,
+            suffix_stages: n_suffix as u32,
+            old_predicted_jct,
+            new_predicted_jct,
+            risk_penalty,
+            audit_clean,
+            applied,
+        });
+        last_factor = Some(ev.factor);
+        if applied {
+            state.stats.rescheduled_stages += n_suffix as u32;
+            cur = spliced;
+        }
+    }
+
+    let mut pass = finish_pass(state, dag, &cur, gt, obs);
+    pass.trace.replans = replans;
+    pass.metrics.faults.rescheduled_stages = pass
+        .trace
+        .replans
+        .iter()
+        .filter(|r| r.applied)
+        .map(|r| r.suffix_stages)
+        .sum();
+    Ok((pass.trace, pass.metrics))
+}
+
+/// Expected serial lineage-recovery delay of a plan's not-yet-run suffix
+/// under an estimated per-read object-loss rate: for each suffix stage,
+/// the probability that at least one of its external (non-co-located)
+/// reads draws a loss, times the observed mean recovery delay. Losses
+/// within one stage overlap (independent objects recover concurrently),
+/// while suffix stages are chained by their data dependencies, so the
+/// per-stage expectations add.
+fn expected_recovery_delay(
+    dag: &JobDag,
+    schedule: &Schedule,
+    suffix: &[bool],
+    p_loss: f64,
+    avg_rec: f64,
+) -> f64 {
+    let mut total = 0.0;
+    for s in dag.stages() {
+        if !suffix[s.id.index()] {
+            continue;
+        }
+        let mut reads: u32 = 0;
+        for e in dag.in_edges(s.id) {
+            if !schedule.colocated[e.id.index()] {
+                reads += schedule.dop[s.id.index()];
+            }
+        }
+        if reads > 0 {
+            total += (1.0 - (1.0 - p_loss).powi(reads as i32)) * avg_rec;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::try_simulate_with_faults;
+    use crate::groundtruth::ExecConfig;
+    use ditto_cluster::ResourceManager;
+    use ditto_core::{
+        DittoScheduler, JointOptions, Objective, Scheduler, SchedulingContext,
+    };
+    use ditto_timemodel::model::RateConfig;
+    use ditto_timemodel::JobTimeModel;
+
+    fn fixture(
+        free: &[u32],
+    ) -> (
+        JobDag,
+        JobTimeModel,
+        ResourceManager,
+        Schedule,
+        GroundTruth,
+    ) {
+        let dag = ditto_dag::generators::q95_shape();
+        let model = JobTimeModel::from_rates(&dag, &RateConfig::default());
+        let rm = ResourceManager::from_free_slots(free.to_vec());
+        let schedule = DittoScheduler::new().schedule(&SchedulingContext {
+            dag: &dag,
+            model: &model,
+            resources: &rm,
+            objective: Objective::Jct,
+        });
+        (dag, model, rm, schedule, GroundTruth::new(ExecConfig::default()))
+    }
+
+    fn ctx<'a>(model: &'a JobTimeModel, rm: &'a ResourceManager) -> ReschedulingContext<'a> {
+        ReschedulingContext {
+            model,
+            resources: rm,
+            objective: Objective::Jct,
+            options: JointOptions::default(),
+        }
+    }
+
+    #[test]
+    fn no_faults_is_bit_identical_to_frozen_engine() {
+        let (dag, model, rm, schedule, gt) = fixture(&[48, 32]);
+        let plan = FaultPlan::none();
+        let policy = RecoveryPolicy::none();
+        let (ft, fm) =
+            try_simulate_with_faults(&dag, &schedule, &gt, &plan, &policy, None).unwrap();
+        let (at, am) = try_simulate_adaptive(
+            &dag,
+            &schedule,
+            &gt,
+            &plan,
+            &policy,
+            &ctx(&model, &rm),
+            &AdaptiveConfig::default(),
+        )
+        .unwrap();
+        assert!(at.replans.is_empty(), "no drift may be detected fault-free");
+        assert_eq!(at.tasks, ft.tasks);
+        assert_eq!(am, fm);
+    }
+
+    #[test]
+    fn unit_drift_and_zero_loss_never_replan() {
+        // The bit-identity satellite's core: drift factor exactly 1.0 and
+        // zero loss probability must leave the detector silent — observed
+        // equals expected structurally, not approximately.
+        let (dag, model, rm, schedule, gt) = fixture(&[40, 24]);
+        let plan = FaultPlan::none().with_drift(1.0);
+        let policy = RecoveryPolicy::default();
+        let (ft, fm) =
+            try_simulate_with_faults(&dag, &schedule, &gt, &plan, &policy, None).unwrap();
+        let (at, am) = try_simulate_adaptive(
+            &dag,
+            &schedule,
+            &gt,
+            &plan,
+            &policy,
+            &ctx(&model, &rm),
+            &AdaptiveConfig::default(),
+        )
+        .unwrap();
+        assert!(at.replans.is_empty());
+        assert_eq!(at.tasks, ft.tasks);
+        assert_eq!(am, fm);
+    }
+
+    #[test]
+    fn drift_fires_replan_with_certified_records() {
+        let (dag, model, rm, schedule, gt) = fixture(&[24, 16]);
+        let plan = FaultPlan::none().with_drift(2.0);
+        let policy = RecoveryPolicy::default();
+        let (trace, metrics) = try_simulate_adaptive(
+            &dag,
+            &schedule,
+            &gt,
+            &plan,
+            &policy,
+            &ctx(&model, &rm),
+            &AdaptiveConfig::default(),
+        )
+        .unwrap();
+        assert!(!trace.replans.is_empty(), "2x drift must trip the band");
+        for r in &trace.replans {
+            assert!(r.audit_clean, "every splice must certify clean");
+            assert_eq!(r.trigger, ReplanTrigger::Drift);
+            assert!(r.factor > 1.25);
+            assert!(r.corrections.compute > 1.5, "compute drift learned");
+            assert!(
+                (r.corrections.read - 1.0).abs() < 0.3,
+                "read barely drifts: {}",
+                r.corrections.read
+            );
+            assert!(r.old_predicted_jct.is_finite() && r.new_predicted_jct.is_finite());
+        }
+        let applied: u32 = trace
+            .replans
+            .iter()
+            .filter(|r| r.applied)
+            .map(|r| r.suffix_stages)
+            .sum();
+        assert_eq!(metrics.faults.rescheduled_stages, applied);
+        assert!(metrics.jct > 0.0);
+    }
+
+    #[test]
+    fn replans_are_bounded_and_re_armed() {
+        let (dag, model, rm, schedule, gt) = fixture(&[24, 16]);
+        let plan = FaultPlan::none().with_drift(3.0);
+        let cfg = AdaptiveConfig {
+            max_replans: 1,
+            ..Default::default()
+        };
+        let (trace, _) = try_simulate_adaptive(
+            &dag,
+            &schedule,
+            &gt,
+            &plan,
+            &RecoveryPolicy::default(),
+            &ctx(&model, &rm),
+            &cfg,
+        )
+        .unwrap();
+        assert!(trace.replans.len() <= 1);
+    }
+
+    #[test]
+    fn object_loss_escalates_to_replan_when_sustained() {
+        // Lossy external storage inflates observed read steps through the
+        // lineage-recovery wait; sustained loss walks up the escalation
+        // ladder into a replan tagged as object recovery.
+        let (dag, model, rm, schedule, gt) = fixture(&[24, 16]);
+        let plan = FaultPlan::from_rates(crate::faults::FaultRates {
+            loss_prob: 0.9,
+            ..crate::faults::FaultRates::none(7)
+        });
+        let (trace, metrics) = try_simulate_adaptive(
+            &dag,
+            &schedule,
+            &gt,
+            &plan,
+            &RecoveryPolicy::default(),
+            &ctx(&model, &rm),
+            &AdaptiveConfig::default(),
+        )
+        .unwrap();
+        assert!(metrics.faults.lineage_reexecs > 0);
+        if let Some(r) = trace.replans.first() {
+            assert_eq!(r.trigger, ReplanTrigger::ObjectRecovery);
+            assert!(r.corrections.read > 1.0);
+        }
+    }
+
+    #[test]
+    fn adaptive_beats_frozen_under_differential_drift() {
+        // The headline robustness claim: under sustained compute drift on
+        // a slot-constrained cluster, replanning with the corrected model
+        // beats the frozen schedule's realized JCT.
+        let (dag, model, rm, schedule, gt) = fixture(&[24, 16]);
+        let plan = FaultPlan::none().with_drift(2.0);
+        let policy = RecoveryPolicy::default();
+        let (_, frozen) =
+            try_simulate_with_faults(&dag, &schedule, &gt, &plan, &policy, None).unwrap();
+        let (trace, adaptive) = try_simulate_adaptive(
+            &dag,
+            &schedule,
+            &gt,
+            &plan,
+            &policy,
+            &ctx(&model, &rm),
+            &AdaptiveConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            adaptive.jct <= frozen.jct + 1e-9,
+            "adaptive {} must not lose to frozen {}",
+            adaptive.jct,
+            frozen.jct
+        );
+        if trace.replans.iter().any(|r| r.applied) {
+            assert!(adaptive.jct < frozen.jct, "an applied replan must help");
+        }
+    }
+
+    #[test]
+    fn kind_scoped_drift_transfers_corrections_and_wins() {
+        // Differential drift: only Join and GroupBy stages slow down.
+        // Corrections learned from the first drifted stage of a kind
+        // transfer through the detector's class layer to same-kind stages
+        // that have not run, shifting the corrected α-ratios (Eq. 3/4),
+        // and the applied replan realizes a strict JCT win.
+        let (dag, model, rm, schedule, gt) = fixture(&[24, 16]);
+        let plan = FaultPlan::none()
+            .with_kind_drift(ditto_dag::StageKind::Join, 2.0)
+            .with_kind_drift(ditto_dag::StageKind::GroupBy, 2.0);
+        let policy = RecoveryPolicy::default();
+        let (_, frozen) =
+            try_simulate_with_faults(&dag, &schedule, &gt, &plan, &policy, None).unwrap();
+        let (trace, adaptive) = try_simulate_adaptive(
+            &dag,
+            &schedule,
+            &gt,
+            &plan,
+            &policy,
+            &ctx(&model, &rm),
+            &AdaptiveConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            trace.replans.iter().any(|r| r.applied),
+            "kind drift on a constrained cluster must apply a replan"
+        );
+        assert!(
+            adaptive.jct < 0.90 * frozen.jct,
+            "adaptive {:.2} must beat frozen {:.2} by >10% under kind drift",
+            adaptive.jct,
+            frozen.jct
+        );
+        for r in &trace.replans {
+            assert!(r.audit_clean, "spliced schedule must certify clean");
+            assert_eq!(
+                r.risk_penalty, 0.0,
+                "no observed losses means no risk adjustment"
+            );
+        }
+    }
+}

@@ -31,8 +31,8 @@ use crate::metrics::JobMetrics;
 use crate::trace::{ExecutionTrace, TaskTrace};
 use ditto_cluster::{ResourceManager, ServerId};
 use ditto_core::{joint_optimize_traced, JointOptions, Objective, Schedule};
-use ditto_dag::{JobDag, StageId};
-use ditto_obs::{Recorder, Track};
+use ditto_dag::{JobDag, StageId, StageKind};
+use ditto_obs::{Recorder, StepTimings, Track};
 use ditto_storage::{CostModel, Medium};
 use ditto_timemodel::JobTimeModel;
 use rand::rngs::StdRng;
@@ -77,6 +77,58 @@ pub enum FaultEvent {
         /// Absolute failure time, seconds since job submission.
         at_time: f64,
     },
+    /// The externally stored output objects of one producer task vanish
+    /// (storage node eviction, TTL expiry). Detected by the first
+    /// consumer's read; healed by lineage re-execution of the producer.
+    /// No effect on shared-memory edges (nothing external to lose).
+    ObjectLoss {
+        /// Producing stage.
+        stage: StageId,
+        /// Producing task index.
+        task: u32,
+    },
+    /// The externally stored output objects of one producer task are
+    /// silently corrupted; the consumer's checksum verification catches
+    /// the mismatch on read and lineage re-execution heals it.
+    ObjectCorruption {
+        /// Producing stage.
+        stage: StageId,
+        /// Producing task index.
+        task: u32,
+    },
+    /// Environmental drift: every task's *compute* step runs `factor`×
+    /// slower than the fitted model predicted (CPU contention, thermal
+    /// throttling). Deliberately compute-only — uniform drift over all
+    /// steps scales α and β together and leaves the Eq. 3/4 DoP ratios
+    /// unchanged, so only differential drift makes re-planning matter.
+    DriftInflation {
+        /// Multiplier ≥ 0 applied to compute-step durations (values are
+        /// clamped to a sane floor when consumed).
+        factor: f64,
+    },
+    /// Differential drift: the compute steps of every stage of one
+    /// [`StageKind`] run `factor`× slower (a co-tenant pinning the cores
+    /// the scan fleet runs on, a UDF regression in the map containers).
+    /// This is the drift that *matters* to the planner — it changes the
+    /// Eq. 3/4 DoP ratios, so the adaptive engine's per-stage-type
+    /// corrections can actually move slots. Stacks multiplicatively with
+    /// [`FaultEvent::DriftInflation`].
+    KindDrift {
+        /// Stage type whose compute drifts.
+        kind: StageKind,
+        /// Multiplier ≥ 0 applied to matching stages' compute steps.
+        factor: f64,
+    },
+}
+
+/// What happened to one producer task's stored output, per
+/// [`FaultPlan::object_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectFaultKind {
+    /// The object is gone (read returns not-found).
+    Loss,
+    /// The object is present but fails checksum verification.
+    Corruption,
 }
 
 /// Seeded random fault rates, expanded deterministically per
@@ -92,6 +144,12 @@ pub struct FaultRates {
     pub straggler_prob: f64,
     /// Slowdown multiplier applied to injected stragglers.
     pub straggler_slowdown: f64,
+    /// Probability a producer task's stored output is lost before its
+    /// first consumer reads it.
+    pub loss_prob: f64,
+    /// Probability a producer task's stored output is corrupted (checked
+    /// only when the loss roll missed).
+    pub corruption_prob: f64,
     /// Determinism seed.
     pub seed: u64,
 }
@@ -103,6 +161,8 @@ impl FaultRates {
             crash_prob: 0.0,
             straggler_prob: 0.0,
             straggler_slowdown: 1.0,
+            loss_prob: 0.0,
+            corruption_prob: 0.0,
             seed,
         }
     }
@@ -151,12 +211,111 @@ impl FaultPlan {
         self
     }
 
+    /// Append an object loss for one producer task (builder style).
+    pub fn and_object_loss(mut self, stage: StageId, task: u32) -> Self {
+        self.events.push(FaultEvent::ObjectLoss { stage, task });
+        self
+    }
+
+    /// Append an object corruption for one producer task (builder style).
+    pub fn and_object_corruption(mut self, stage: StageId, task: u32) -> Self {
+        self.events.push(FaultEvent::ObjectCorruption { stage, task });
+        self
+    }
+
+    /// Append a global compute-drift inflation (builder style). Multiple
+    /// drift events multiply.
+    pub fn with_drift(mut self, factor: f64) -> Self {
+        self.events.push(FaultEvent::DriftInflation { factor });
+        self
+    }
+
+    /// Append a stage-type-scoped compute drift (builder style). Stacks
+    /// multiplicatively with global drift and other kind drifts.
+    pub fn with_kind_drift(mut self, kind: StageKind, factor: f64) -> Self {
+        self.events.push(FaultEvent::KindDrift { kind, factor });
+        self
+    }
+
     /// Whether the plan injects anything at all.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
-            && self
-                .rates
-                .is_none_or(|r| r.crash_prob <= 0.0 && r.straggler_prob <= 0.0)
+            && self.rates.is_none_or(|r| {
+                r.crash_prob <= 0.0
+                    && r.straggler_prob <= 0.0
+                    && r.loss_prob <= 0.0
+                    && r.corruption_prob <= 0.0
+            })
+    }
+
+    /// The product of every injected [`FaultEvent::DriftInflation`]
+    /// factor, floored at 0.01 so a zero cannot collapse the timeline.
+    /// 1.0 when no drift is injected.
+    pub fn drift_factor(&self) -> f64 {
+        let mut f = 1.0;
+        for e in &self.events {
+            if let FaultEvent::DriftInflation { factor } = e {
+                f *= factor.max(0.01);
+            }
+        }
+        f
+    }
+
+    /// The effective compute-drift factor for a stage of `kind`: the
+    /// global [`Self::drift_factor`] times every matching
+    /// [`FaultEvent::KindDrift`] factor (same floor).
+    pub fn drift_factor_for(&self, kind: StageKind) -> f64 {
+        let mut f = self.drift_factor();
+        for e in &self.events {
+            if let FaultEvent::KindDrift { kind: k, factor } = e {
+                if *k == kind {
+                    f *= factor.max(0.01);
+                }
+            }
+        }
+        f
+    }
+
+    /// What happens to the stored output of producer `(stage, task)`.
+    /// Explicit events win (loss over corruption); otherwise the seeded
+    /// rates roll once per producer task, independent of execution order.
+    pub fn object_fault(&self, stage: StageId, task: u32) -> Option<ObjectFaultKind> {
+        let mut hit = None;
+        for e in &self.events {
+            match e {
+                FaultEvent::ObjectLoss { stage: es, task: et } if *es == stage && *et == task => {
+                    return Some(ObjectFaultKind::Loss);
+                }
+                FaultEvent::ObjectCorruption { stage: es, task: et }
+                    if *es == stage && *et == task =>
+                {
+                    hit = Some(ObjectFaultKind::Corruption);
+                }
+                _ => {}
+            }
+        }
+        if hit.is_some() {
+            return hit;
+        }
+        let r = self.rates?;
+        if r.loss_prob <= 0.0 && r.corruption_prob <= 0.0 {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(
+            r.seed
+                .wrapping_mul(0x94d0_49bb_1331_11eb)
+                .wrapping_add(((stage.0 as u64) << 24) | task as u64),
+        );
+        let roll = rng.gen::<f64>();
+        let loss = r.loss_prob.clamp(0.0, 1.0);
+        let corrupt = r.corruption_prob.clamp(0.0, 1.0);
+        if roll < loss {
+            Some(ObjectFaultKind::Loss)
+        } else if roll < loss + corrupt {
+            Some(ObjectFaultKind::Corruption)
+        } else {
+            None
+        }
     }
 
     /// Does attempt `attempt` of `(stage, task)` crash — and if so, after
@@ -366,6 +525,16 @@ pub struct FaultStats {
     pub rescheduled_stages: u32,
     /// Speculative copies launched.
     pub speculative_copies: u32,
+    /// Intermediate objects lost before their first read.
+    pub object_losses: u32,
+    /// Intermediate objects that failed checksum verification on read.
+    pub object_corruptions: u32,
+    /// Producer tasks re-executed through the lineage index to regenerate
+    /// lost or corrupt objects.
+    pub lineage_reexecs: u32,
+    /// Storage-read retry attempts beyond the first, across the data
+    /// plane's bounded-retry loop (physical runtime only).
+    pub storage_retries: u64,
 }
 
 impl FaultStats {
@@ -377,6 +546,10 @@ impl FaultStats {
         self.server_failures += other.server_failures;
         self.rescheduled_stages += other.rescheduled_stages;
         self.speculative_copies += other.speculative_copies;
+        self.object_losses += other.object_losses;
+        self.object_corruptions += other.object_corruptions;
+        self.lineage_reexecs += other.lineage_reexecs;
+        self.storage_retries += other.storage_retries;
     }
 }
 
@@ -493,51 +666,105 @@ pub fn try_simulate_with_faults_traced(
             ],
         );
     }
-    let hybrid = hybrid_schedule(dag, schedule, &replanned, &suffix);
+    let hybrid = schedule.splice(dag, &replanned, &suffix);
+    // Feasibility certificate on the spliced schedule (debug builds): the
+    // replan optimized against the shrunk snapshot, but the splice mixes
+    // in prefix placements the optimizer never saw — re-count the suffix
+    // against the surviving slots before trusting it.
+    #[cfg(debug_assertions)]
+    {
+        let report = ditto_audit::audit_splice(dag, &rm, &hybrid, &suffix);
+        if !report.is_clean() {
+            return Err(ExecError::InvalidSchedule(report.render()));
+        }
+    }
     let mut pass2 = sim_pass(dag, &hybrid, gt, plan, policy, obs)?;
     pass2.metrics.faults.rescheduled_stages = n_suffix;
     Ok((pass2.trace, pass2.metrics))
 }
 
-/// Splice a replanned schedule into the original: suffix stages take the
-/// replanned DoP and placement; edges crossing the prefix/suffix boundary
-/// are conservatively treated as external (not co-located).
-fn hybrid_schedule(dag: &JobDag, orig: &Schedule, replanned: &Schedule, suffix: &[bool]) -> Schedule {
-    let n = dag.num_stages();
-    let mut dop = orig.dop.clone();
-    let mut placement = orig.placement.clone();
-    for i in 0..n {
-        if suffix[i] {
-            dop[i] = replanned.dop[i];
-            placement[i] = replanned.placement[i].clone();
-        }
-    }
-    let colocated = dag
-        .edges()
-        .iter()
-        .map(|e| {
-            match (suffix[e.src.index()], suffix[e.dst.index()]) {
-                (true, true) => replanned.colocated[e.id.index()],
-                (false, false) => orig.colocated[e.id.index()],
-                _ => false,
-            }
-        })
-        .collect();
-    Schedule {
-        scheduler: format!("{}+replan", orig.scheduler),
-        dop,
-        groups: (0..n).map(|i| vec![StageId(i as u32)]).collect(),
-        group_of: (0..n).collect(),
-        colocated,
-        placement,
-    }
+pub(crate) struct SimPass {
+    pub(crate) trace: ExecutionTrace,
+    pub(crate) metrics: JobMetrics,
+    /// Per-stage container launch time (JIT launch of the first attempts).
+    pub(crate) stage_launch: Vec<f64>,
 }
 
-struct SimPass {
-    trace: ExecutionTrace,
-    metrics: JobMetrics,
-    /// Per-stage container launch time (JIT launch of the first attempts).
-    stage_launch: Vec<f64>,
+/// Mutable state threaded through a simulation: per-stage timeline
+/// gates, accounting, and the recovery bookkeeping shared by the frozen
+/// ([`sim_pass`]) and adaptive (`crate::adaptive`) engines. Both engines
+/// drive the *same* [`sim_stage`] — that is what makes the adaptive
+/// engine bit-identical to the frozen one when it never replans.
+pub(crate) struct SimState {
+    pub(crate) failure: Option<(ServerId, f64)>,
+    pub(crate) restart_server: Option<ServerId>,
+    pub(crate) stage_end: Vec<f64>,
+    pub(crate) stage_write_start: Vec<f64>,
+    pub(crate) stage_read_end: Vec<f64>,
+    pub(crate) stage_launch: Vec<f64>,
+    /// Mean observed per-step durations per stage (drift-detector food):
+    /// the as-executed setup/read/compute/write including injected
+    /// slowdowns, drift and lineage-recovery waits.
+    pub(crate) stage_observed: Vec<StepTimings>,
+    /// Mean *expected* per-step durations per stage — the clean timings
+    /// under the schedule that ran it, with no drift, slowdown or
+    /// recovery. The predicted side of the drift detector's ratio (a
+    /// physical deployment would use the fitted model's prediction here;
+    /// the simulator's expectation is the clean ground truth).
+    pub(crate) stage_clean: Vec<StepTimings>,
+    /// Clean single-attempt duration per (stage, task) under the schedule
+    /// that ran it — the cost of a lineage re-execution of that task.
+    pub(crate) task_clean_time: Vec<Vec<f64>>,
+    /// Exchange medium per edge, recorded when the consumer stage runs
+    /// (the schedule may change mid-run under the adaptive engine).
+    pub(crate) edge_medium: Vec<Option<Medium>>,
+    /// Producer tasks already healed by lineage re-execution — only the
+    /// first reader pays; the regenerated object serves everyone else.
+    pub(crate) recovered: std::collections::BTreeSet<(u32, u32)>,
+    pub(crate) trace: ExecutionTrace,
+    pub(crate) stats: FaultStats,
+}
+
+impl SimState {
+    pub(crate) fn new(dag: &JobDag, plan: &FaultPlan, schedule: &Schedule) -> Self {
+        let n = dag.num_stages();
+        let failure = plan.first_server_failure();
+        SimState {
+            failure,
+            restart_server: failure.map(|(failed, _)| pick_survivor(schedule, failed)),
+            stage_end: vec![0.0; n],
+            stage_write_start: vec![0.0; n],
+            stage_read_end: vec![0.0; n],
+            stage_launch: vec![0.0; n],
+            stage_observed: vec![StepTimings::zero(); n],
+            stage_clean: vec![StepTimings::zero(); n],
+            task_clean_time: vec![Vec::new(); n],
+            edge_medium: vec![None; dag.num_edges()],
+            recovered: Default::default(),
+            trace: ExecutionTrace::default(),
+            stats: FaultStats {
+                server_failures: if failure.is_some() { 1 } else { 0 },
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Emit the run-level telemetry header (track names, server-failure
+    /// announcement). Call once before the first [`sim_stage`].
+    pub(crate) fn announce(&self, obs: &Recorder) {
+        if obs.is_enabled() {
+            obs.name_track(Track::JOB_GROUP, "job");
+            obs.name_track(Track::STORAGE_GROUP, "storage");
+            if let Some((failed, at)) = self.failure {
+                obs.event(
+                    "fault.server_failed",
+                    Track::job(0),
+                    at,
+                    vec![("server", (failed.index() as u64).into())],
+                );
+            }
+        }
+    }
 }
 
 /// Final timeline of one task after its attempt history.
@@ -565,35 +792,38 @@ fn sim_pass(
     obs: &Recorder,
 ) -> Result<SimPass, ExecError> {
     let order = dag.topo_order().map_err(|_| ExecError::CyclicDag)?;
-    let n = dag.num_stages();
-    let failure = plan.first_server_failure();
-    let restart_server = failure.map(|(failed, _)| pick_survivor(schedule, failed));
-
-    if obs.is_enabled() {
-        obs.name_track(Track::JOB_GROUP, "job");
-        obs.name_track(Track::STORAGE_GROUP, "storage");
-        if let Some((failed, at)) = failure {
-            obs.event(
-                "fault.server_failed",
-                Track::job(0),
-                at,
-                vec![("server", (failed.index() as u64).into())],
-            );
-        }
-    }
-
-    let mut stage_end = vec![0.0_f64; n];
-    let mut stage_write_start = vec![0.0_f64; n];
-    let mut stage_read_end = vec![0.0_f64; n];
-    let mut stage_launch = vec![0.0_f64; n];
-
-    let mut trace = ExecutionTrace::default();
-    let mut stats = FaultStats {
-        server_failures: if failure.is_some() { 1 } else { 0 },
-        ..Default::default()
-    };
-
+    let mut state = SimState::new(dag, plan, schedule);
+    state.announce(obs);
     for &s in &order {
+        sim_stage(&mut state, dag, schedule, gt, plan, policy, obs, s)?;
+    }
+    Ok(finish_pass(state, dag, schedule, gt, obs))
+}
+
+/// Simulate one stage under the current schedule, updating `state`.
+///
+/// This is the shared per-stage engine: the frozen path ([`sim_pass`])
+/// calls it over a fixed schedule; the adaptive engine interleaves drift
+/// detection and suffix replanning between calls, passing whichever
+/// schedule is current. It applies injected slowdowns, global compute
+/// drift ([`FaultPlan::drift_factor`]), crash/retry/speculation recovery,
+/// and lineage re-execution of upstream tasks whose stored outputs were
+/// lost or corrupted.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sim_stage(
+    state: &mut SimState,
+    dag: &JobDag,
+    schedule: &Schedule,
+    gt: &GroundTruth,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+    obs: &Recorder,
+    s: StageId,
+) -> Result<(), ExecError> {
+    let failure = state.failure;
+    let restart_server = state.restart_server;
+    let drift = plan.drift_factor_for(dag.stages()[s.index()].kind);
+    {
         // Non-pipelined edges gate on the producer's write completion;
         // pipelined edges (§4.5) let the consumer start streaming at the
         // producer's write *start*, but it cannot finish reading before
@@ -602,11 +832,75 @@ fn sim_pass(
         let mut read_gate = 0.0_f64;
         for e in dag.in_edges(s) {
             if e.pipelined {
-                ready = ready.max(stage_write_start[e.src.index()]);
-                read_gate = read_gate.max(stage_end[e.src.index()]);
+                ready = ready.max(state.stage_write_start[e.src.index()]);
+                read_gate = read_gate.max(state.stage_end[e.src.index()]);
             } else {
-                ready = ready.max(stage_end[e.src.index()]);
+                ready = ready.max(state.stage_end[e.src.index()]);
             }
+        }
+        // Lineage recovery: lost or corrupt upstream objects are detected
+        // by this (first-reading) stage and healed by re-executing the
+        // producing task. Recoveries of independent objects overlap, so
+        // the stage waits for the slowest one.
+        let mut recovery = 0.0_f64;
+        for e in dag.in_edges(s) {
+            let medium = gt.edge_medium(schedule, e.id.index());
+            state.edge_medium[e.id.index()] = Some(medium);
+            if medium == Medium::SharedMemory {
+                continue; // nothing externally stored to lose
+            }
+            let src = e.src;
+            let producers = state.task_clean_time[src.index()].len();
+            for tp in 0..producers as u32 {
+                let Some(kind) = plan.object_fault(src, tp) else {
+                    continue;
+                };
+                if !state.recovered.insert((src.0, tp)) {
+                    continue; // already healed; regenerated object serves us
+                }
+                let reexec = state.task_clean_time[src.index()][tp as usize];
+                let d_src = producers as u32;
+                let wasted = gt.task_memory_gb(dag, src, d_src) * reexec;
+                match kind {
+                    ObjectFaultKind::Loss => state.stats.object_losses += 1,
+                    ObjectFaultKind::Corruption => state.stats.object_corruptions += 1,
+                }
+                state.stats.lineage_reexecs += 1;
+                state.stats.extra_attempts += 1;
+                state.stats.wasted_gb_s += wasted;
+                state.stats.recovery_delay_s += reexec;
+                recovery = recovery.max(reexec);
+                if obs.is_enabled() {
+                    let name = match kind {
+                        ObjectFaultKind::Loss => "fault.object_lost",
+                        ObjectFaultKind::Corruption => "fault.object_corrupt",
+                    };
+                    obs.event(
+                        name,
+                        Track::storage(),
+                        ready,
+                        vec![
+                            ("stage", src.0.into()),
+                            ("task", tp.into()),
+                            ("reader_stage", s.0.into()),
+                        ],
+                    );
+                    obs.event(
+                        "recovery.lineage_reexec",
+                        Track::storage(),
+                        ready + reexec,
+                        vec![
+                            ("stage", src.0.into()),
+                            ("task", tp.into()),
+                            ("reexec_s", reexec.into()),
+                        ],
+                    );
+                }
+            }
+        }
+        ready += recovery;
+        if read_gate > 0.0 {
+            read_gate += recovery;
         }
         let steps = gt.stage_tasks(dag, schedule, s);
         let d = schedule.dop[s.index()];
@@ -617,7 +911,9 @@ fn sim_pass(
         for (t, st) in steps.iter().enumerate() {
             let t = t as u32;
             let slow = plan.slowdown(s, t);
-            let (read, compute, write) = (st.read * slow, st.compute * slow, st.write * slow);
+            let (read, compute, write) =
+                (st.read * slow, st.compute * slow * drift, st.write * slow);
+            state.task_clean_time[s.index()].push(st.setup + read + compute + write);
             let mut server = placement.server_of_task(t);
             let mut records = Vec::new();
             let mut attempt = 0u32;
@@ -677,9 +973,9 @@ fn sim_pass(
                             outcome: why,
                             wasted_gb_s: wasted,
                         });
-                        stats.extra_attempts += 1;
-                        stats.wasted_gb_s += wasted;
-                        stats.recovery_delay_s += (when - launch).max(0.0);
+                        state.stats.extra_attempts += 1;
+                        state.stats.wasted_gb_s += wasted;
+                        state.stats.recovery_delay_s += (when - launch).max(0.0);
                         if why == AttemptOutcome::ServerLost {
                             if let Some(alt) = restart_server {
                                 server = alt;
@@ -693,7 +989,7 @@ fn sim_pass(
                             });
                         }
                         let wait = policy.backoff(attempt);
-                        stats.recovery_delay_s += wait;
+                        state.stats.recovery_delay_s += wait;
                         attempt += 1;
                         launch = when + wait;
                     }
@@ -724,9 +1020,11 @@ fn sim_pass(
                 let spec_launch = o.first_launch + threshold;
                 let rs = (spec_launch + st.setup).max(ready);
                 let cs = (rs + st.read).max(read_gate);
-                let ws = cs + st.compute;
+                // A clean copy escapes the per-task slowdown but not the
+                // environmental compute drift.
+                let ws = cs + st.compute * drift;
                 let se = ws + st.write;
-                stats.speculative_copies += 1;
+                state.stats.speculative_copies += 1;
                 let spec_attempt = o.attempts; // next index in the sequence
                 if se < o.end {
                     // The copy wins; the original is killed at the copy's
@@ -744,9 +1042,9 @@ fn sim_pass(
                         outcome: AttemptOutcome::Superseded,
                         wasted_gb_s: wasted,
                     });
-                    stats.extra_attempts += 1;
-                    stats.wasted_gb_s += wasted;
-                    stats.recovery_delay_s += killed_at - o.launch;
+                    state.stats.extra_attempts += 1;
+                    state.stats.wasted_gb_s += wasted;
+                    state.stats.recovery_delay_s += killed_at - o.launch;
                     o.launch = spec_launch;
                     o.read_start = rs;
                     o.compute_start = cs;
@@ -767,9 +1065,9 @@ fn sim_pass(
                         outcome: AttemptOutcome::Superseded,
                         wasted_gb_s: wasted,
                     });
-                    stats.extra_attempts += 1;
-                    stats.wasted_gb_s += wasted;
-                    stats.recovery_delay_s += (o.end - spec_launch).max(0.0);
+                    state.stats.extra_attempts += 1;
+                    state.stats.wasted_gb_s += wasted;
+                    state.stats.recovery_delay_s += (o.end - spec_launch).max(0.0);
                     o.attempts += 1;
                 }
             }
@@ -778,11 +1076,32 @@ fn sim_pass(
         let mut end = ready;
         let mut wstart = f64::MAX;
         let mut rend: f64 = 0.0;
-        stage_launch[s.index()] = outcomes
+        state.stage_launch[s.index()] = outcomes
             .iter()
             .map(|o| o.first_launch)
             .fold(f64::MAX, f64::min)
             .min(ready);
+        // Mean as-executed step durations, for the drift detector. The
+        // lineage-recovery wait lands on the read step: that is where the
+        // first reader stalls, and what makes sustained object loss look
+        // like storage drift to the monitor.
+        let mut obs_sum = StepTimings::zero();
+        let mut clean_sum = StepTimings::zero();
+        for (t, st) in steps.iter().enumerate() {
+            let slow = plan.slowdown(s, t as u32);
+            obs_sum.accumulate(&StepTimings::new(
+                st.setup,
+                st.read * slow,
+                st.compute * slow * drift,
+                st.write * slow,
+            ));
+            clean_sum.accumulate(&StepTimings::new(st.setup, st.read, st.compute, st.write));
+        }
+        let inv = 1.0 / (steps.len().max(1)) as f64;
+        let mut observed = obs_sum.scaled(inv);
+        observed.read += recovery;
+        state.stage_observed[s.index()] = observed;
+        state.stage_clean[s.index()] = clean_sum.scaled(inv);
         // Per-task shuffle volume estimates for telemetry consumers.
         let d_f = (d as f64).max(1.0);
         let task_read_bytes: f64 =
@@ -862,7 +1181,7 @@ fn sim_pass(
                     }
                 }
             }
-            trace.tasks.push(TaskTrace {
+            state.trace.tasks.push(TaskTrace {
                 stage: s.0,
                 task: t as u32,
                 server: o.server,
@@ -874,31 +1193,44 @@ fn sim_pass(
                 memory_gb: mem,
             });
             if !o.records.is_empty() {
-                trace.attempts.append(&mut o.records);
+                state.trace.attempts.append(&mut o.records);
             }
         }
-        stage_end[s.index()] = end;
+        state.stage_end[s.index()] = end;
         if obs.is_enabled() {
             obs.span(
                 "stage",
                 Track::job(s.0),
-                stage_launch[s.index()],
+                state.stage_launch[s.index()],
                 end,
                 vec![("stage", s.0.into()), ("dop", (d as u64).into())],
             );
         }
-        stage_write_start[s.index()] = if wstart.is_finite() { wstart } else { end };
-        stage_read_end[s.index()] = rend;
+        state.stage_write_start[s.index()] = if wstart.is_finite() { wstart } else { end };
+        state.stage_read_end[s.index()] = rend;
     }
+    Ok(())
+}
 
+/// Close out a simulation: storage persistence cost over the recorded
+/// per-edge media, final metrics. Consumes the state.
+pub(crate) fn finish_pass(
+    state: SimState,
+    dag: &JobDag,
+    schedule: &Schedule,
+    gt: &GroundTruth,
+    obs: &Recorder,
+) -> SimPass {
     // Storage persistence cost: every edge's volume is resident in its
     // medium from the producer's first write until the consumer's last
-    // read completes.
+    // read completes. The medium is the one recorded when the consumer
+    // ran (falling back to the final schedule for edges that never ran).
     let mut storage_cost = 0.0;
     for e in dag.edges() {
-        let medium = gt.edge_medium(schedule, e.id.index());
-        let resident_from = stage_write_start[e.src.index()];
-        let resident_to = stage_read_end[e.dst.index()].max(resident_from);
+        let medium = state.edge_medium[e.id.index()]
+            .unwrap_or_else(|| gt.edge_medium(schedule, e.id.index()));
+        let resident_from = state.stage_write_start[e.src.index()];
+        let resident_to = state.stage_read_end[e.dst.index()].max(resident_from);
         storage_cost +=
             CostModel::for_medium(medium).persistence_cost(e.bytes, resident_to - resident_from);
         if obs.is_enabled() {
@@ -912,16 +1244,16 @@ fn sim_pass(
     }
 
     let metrics = JobMetrics {
-        jct: trace.jct(),
-        compute_cost: trace.compute_cost() + stats.wasted_gb_s,
+        jct: state.trace.jct(),
+        compute_cost: state.trace.compute_cost() + state.stats.wasted_gb_s,
         storage_cost,
-        faults: stats,
+        faults: state.stats,
     };
-    Ok(SimPass {
-        trace,
+    SimPass {
+        trace: state.trace,
         metrics,
-        stage_launch,
-    })
+        stage_launch: state.stage_launch,
+    }
 }
 
 /// Static label of an [`AttemptOutcome`] for telemetry attributes.
@@ -1168,7 +1500,7 @@ mod tests {
                 crash_prob: 0.2,
                 straggler_prob: 0.1,
                 straggler_slowdown: 3.0,
-                seed,
+                ..FaultRates::none(seed)
             });
             let policy = RecoveryPolicy {
                 max_retries: 16,
@@ -1182,6 +1514,97 @@ mod tests {
         assert_eq!(ta.attempts, tb.attempts);
         let (_, mc) = run(10);
         assert_ne!(ma, mc, "different seed, different fault history");
+    }
+
+    #[test]
+    fn drift_inflation_slows_compute_only() {
+        let (dag, _, _, schedule, gt) = fixture(&[96; 8]);
+        let (base_t, base) = simulate(&dag, &schedule, &gt);
+        let plan = FaultPlan::none().with_drift(2.0);
+        assert!((plan.drift_factor() - 2.0).abs() < 1e-12);
+        let (t, m) = try_simulate_with_faults(
+            &dag,
+            &schedule,
+            &gt,
+            &plan,
+            &RecoveryPolicy::none(),
+            None,
+        )
+        .unwrap();
+        assert!(m.jct > base.jct, "2x compute drift must lengthen the job");
+        // Compute steps exactly double; read and write steps untouched.
+        for (a, b) in base_t.tasks.iter().zip(&t.tasks) {
+            let (sa, sb) = (a.steps(), b.steps());
+            assert!((sb.compute - 2.0 * sa.compute).abs() < 1e-9);
+            assert!((sb.read - sa.read).abs() < 1e-9);
+            assert!((sb.write - sa.write).abs() < 1e-9);
+        }
+        // Stacked drift events multiply.
+        assert!((plan.clone().with_drift(1.5).drift_factor() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn object_loss_triggers_lineage_reexec() {
+        let (dag, _, _, schedule, gt) = fixture(&[96; 8]);
+        let (_, base) = simulate(&dag, &schedule, &gt);
+        let plan = FaultPlan::none().and_object_loss(StageId(0), 0);
+        let (_, m) = try_simulate_with_faults(
+            &dag,
+            &schedule,
+            &gt,
+            &plan,
+            &RecoveryPolicy::retry_only(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(m.faults.object_losses, 1);
+        assert_eq!(m.faults.lineage_reexecs, 1);
+        assert!(m.jct > base.jct, "a lost object must delay its reader");
+        assert!(m.faults.wasted_gb_s > 0.0, "the lost attempt was billed");
+        assert!(m.faults.recovery_delay_s > 0.0);
+
+        // Corruption is detected by checksum and healed the same way.
+        let plan = FaultPlan::none().and_object_corruption(StageId(0), 1);
+        let (_, mc) = try_simulate_with_faults(
+            &dag,
+            &schedule,
+            &gt,
+            &plan,
+            &RecoveryPolicy::retry_only(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(mc.faults.object_corruptions, 1);
+        assert_eq!(mc.faults.lineage_reexecs, 1);
+        assert!(mc.jct > base.jct);
+    }
+
+    #[test]
+    fn object_fault_rates_are_deterministic_and_first_reader_pays() {
+        let (dag, _, _, schedule, gt) = fixture(&[96; 8]);
+        let run = |seed| {
+            let plan = FaultPlan::from_rates(FaultRates {
+                loss_prob: 0.2,
+                corruption_prob: 0.1,
+                ..FaultRates::none(seed)
+            });
+            try_simulate_with_faults(&dag, &schedule, &gt, &plan, &RecoveryPolicy::retry_only(), None)
+                .unwrap()
+        };
+        let (_, a) = run(5);
+        let (_, b) = run(5);
+        assert_eq!(a, b, "same seed, same object-fault history");
+        assert!(
+            a.faults.object_losses + a.faults.object_corruptions > 0,
+            "20%/10% rates over q95 must hit something"
+        );
+        assert_eq!(
+            a.faults.lineage_reexecs,
+            a.faults.object_losses + a.faults.object_corruptions,
+            "each faulted object is healed exactly once (first reader pays)"
+        );
+        let (_, c) = run(6);
+        assert_ne!(a, c, "different seed, different history");
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! few DoPs in the simulator — the input to `ditto-timemodel`'s fitting
 //! (Table 2) and the accuracy experiment (Fig. 11).
 
+pub mod adaptive;
 pub mod error;
 pub mod faults;
 pub mod groundtruth;
@@ -41,6 +42,10 @@ pub mod runner;
 pub mod sim;
 pub mod trace;
 
+pub use adaptive::{
+    try_simulate_adaptive, try_simulate_adaptive_traced, AdaptiveConfig, ReplanRecord,
+    ReplanTrigger,
+};
 pub use error::ExecError;
 pub use faults::{
     try_simulate_with_faults, try_simulate_with_faults_traced, AttemptOutcome, AttemptRecord,

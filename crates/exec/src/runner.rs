@@ -25,11 +25,16 @@ use ditto_cluster::{RuntimeMonitor, TaskRecord};
 use ditto_core::Schedule;
 use ditto_dag::{EdgeKind, StageId};
 use ditto_sql::{Database, QueryPlan, StageOp, Table};
-use ditto_storage::{DataPlane, TransferLedger};
-use std::collections::BTreeMap;
+use ditto_storage::{partition_key, DataPlane, ReadRetryPolicy, StoreError, TransferLedger};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Inputs gathered for one task: tables keyed by upstream stage name,
+/// total bytes read, and the external partition keys read (the task's
+/// lineage).
+type GatheredInputs = (BTreeMap<String, Table>, u64, Vec<String>);
 
 /// Result of a local run.
 #[derive(Debug)]
@@ -112,10 +117,21 @@ impl LocalRuntime {
     ) -> Result<RunOutput, ExecError> {
         let dag = &plan.dag;
         schedule.validate(dag).map_err(ExecError::InvalidSchedule)?;
+        // One knob bounds both recovery paths: the storage read-retry
+        // policy is derived from the task-level RecoveryPolicy, so a run
+        // configured for N task retries also gets bounded, backed-off
+        // external reads (wall waits capped like the task backoff above).
+        dataplane.set_read_retry(ReadRetryPolicy {
+            max_attempts: self.recovery.max_retries.saturating_add(1).clamp(1, 64),
+            backoff_base: self.recovery.backoff_base.clamp(50e-6, 0.005),
+            ..ReadRetryPolicy::default()
+        });
+        let read_base = dataplane.read_stats();
         let monitor = Arc::new(RuntimeMonitor::new());
         let retries = AtomicU64::new(0);
         let attempts: Mutex<Vec<AttemptRecord>> = Mutex::new(Vec::new());
         let stats: Mutex<FaultStats> = Mutex::new(FaultStats::default());
+        let recovered: Mutex<BTreeSet<(u32, u32)>> = Mutex::new(BTreeSet::new());
         let started = Instant::now();
         let mut final_partials: Vec<Table> = Vec::new();
         let timeout = self.timeout();
@@ -132,6 +148,7 @@ impl LocalRuntime {
             let retries_ref = &retries;
             let attempts_ref = &attempts;
             let stats_ref = &stats;
+            let recovered_ref = &recovered;
             let results: Vec<Result<Option<Table>, ExecError>> =
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = (0..d)
@@ -142,7 +159,7 @@ impl LocalRuntime {
                                 self.run_task(
                                     plan, db, schedule, dataplane, s, t, scan_slice, is_final,
                                     timeout, started, &monitor, retries_ref, attempts_ref,
-                                    stats_ref,
+                                    stats_ref, recovered_ref,
                                 )
                             })
                         })
@@ -168,6 +185,13 @@ impl LocalRuntime {
 
         let mut attempts = attempts.into_inner().unwrap_or_else(|p| p.into_inner());
         attempts.sort_by_key(|a| (a.stage, a.task, a.attempt));
+        let mut fault_stats = stats.into_inner().unwrap_or_else(|p| p.into_inner());
+        // Surface the (formerly invisible) storage read-retry accounting
+        // alongside the task-level fault accounting.
+        fault_stats.storage_retries = dataplane
+            .read_stats()
+            .extra_attempts
+            .saturating_sub(read_base.extra_attempts);
         Ok(RunOutput {
             result: plan.combine_final(&final_partials),
             wall_seconds: started.elapsed().as_secs_f64(),
@@ -175,7 +199,7 @@ impl LocalRuntime {
             monitor,
             retries: retries.load(Ordering::Relaxed),
             attempts,
-            fault_stats: stats.into_inner().unwrap_or_else(|p| p.into_inner()),
+            fault_stats,
         })
     }
 
@@ -199,11 +223,20 @@ impl LocalRuntime {
         retries: &AtomicU64,
         attempts_log: &Mutex<Vec<AttemptRecord>>,
         stats: &Mutex<FaultStats>,
+        recovered: &Mutex<BTreeSet<(u32, u32)>>,
     ) -> Result<Option<Table>, ExecError> {
-        let dag = &plan.dag;
         let launch = job_start.elapsed().as_secs_f64();
         let my_server = schedule.placement[s.index()].server_of_task(t).index();
         let server = ditto_cluster::ServerId(my_server as u32);
+        let cx = TaskCtx {
+            plan,
+            db,
+            schedule,
+            dataplane,
+            timeout,
+            stats,
+            recovered,
+        };
         let push_attempt = |rec: AttemptRecord| {
             attempts_log
                 .lock()
@@ -211,32 +244,9 @@ impl LocalRuntime {
                 .push(rec);
         };
 
-        // ---- gather inputs ----
+        // ---- gather inputs (with object-fault injection + recovery) ----
         let read_t0 = Instant::now();
-        let mut inputs: BTreeMap<String, Table> = BTreeMap::new();
-        let mut bytes_read = 0u64;
-        for e in dag.in_edges(s) {
-            let du = schedule.dop[e.src.index()];
-            let mut parts = Vec::new();
-            for ut in 0..du {
-                let src_server = schedule.placement[e.src.index()].server_of_task(ut).index();
-                let data = dataplane
-                    .recv_partition(e.id.0, ut, t, src_server, my_server, timeout)
-                    .map_err(|err| ExecError::MissingInput {
-                        stage: s.0,
-                        task: t,
-                        detail: format!("{}: edge {}: {err}", plan.name, e.id),
-                    })?;
-                bytes_read += data.len() as u64;
-                parts.push(Table::decode(data));
-            }
-            let merged = Table::concat(&parts).ok_or_else(|| ExecError::MissingInput {
-                stage: s.0,
-                task: t,
-                detail: format!("{}: edge {} has no upstream tasks", plan.name, e.id),
-            })?;
-            inputs.insert(dag.stage(e.src).name.clone(), merged);
-        }
+        let (inputs, bytes_read, input_keys) = self.gather_inputs(&cx, s, t, true)?;
         let read_secs = read_t0.elapsed().as_secs_f64();
 
         // Nominal function footprint for wasted-work billing, mirroring
@@ -330,46 +340,7 @@ impl LocalRuntime {
 
         // ---- scatter outputs ----
         let write_t0 = Instant::now();
-        let mut bytes_written = 0u64;
-        for e in dag.out_edges(s) {
-            let dv = schedule.dop[e.dst.index()];
-            let buckets: Vec<Table> = match e.kind {
-                EdgeKind::Shuffle => {
-                    let key = plan.stages[s.index()]
-                        .output_key
-                        .as_deref()
-                        .ok_or(ExecError::MissingOutputKey { stage: s.0 })?;
-                    out.hash_partition(key, dv as usize)
-                }
-                EdgeKind::Gather => {
-                    // Full output to consumer (t % dv); empty markers keep
-                    // schemas flowing to the rest.
-                    let target = t % dv;
-                    (0..dv)
-                        .map(|vt| {
-                            if vt == target {
-                                out.clone()
-                            } else {
-                                Table::empty(out.schema.clone())
-                            }
-                        })
-                        .collect()
-                }
-                EdgeKind::AllGather => (0..dv).map(|_| out.clone()).collect(),
-            };
-            for (vt, bucket) in buckets.into_iter().enumerate() {
-                let dst_server = schedule.placement[e.dst.index()]
-                    .server_of_task(vt as u32)
-                    .index();
-                let data = bucket.encode();
-                bytes_written += data.len() as u64;
-                dataplane
-                    .send_partition(e.id.0, t, vt as u32, my_server, dst_server, data)
-                    .map_err(|err| {
-                        ExecError::DataPlane(format!("{}: stage {s} task {t}: {err}", plan.name))
-                    })?;
-            }
-        }
+        let bytes_written = self.scatter_outputs(&cx, s, t, &out, &input_keys, false)?;
         let write_secs = write_t0.elapsed().as_secs_f64();
 
         let end = job_start.elapsed().as_secs_f64();
@@ -399,6 +370,243 @@ impl LocalRuntime {
 
         Ok(is_final.then_some(out))
     }
+
+    /// Gather every input partition of task `(s, t)`.
+    ///
+    /// With `recover` set this is the fault-bearing first-read path: the
+    /// [`FaultPlan`]'s object faults are injected physically (the stored
+    /// partition is deleted or tampered, first reader pays), and a read
+    /// that comes back lost or corrupt triggers a bounded *one-level*
+    /// lineage re-execution of the producing task before the read is
+    /// retried — the physical half of the escalation ladder. With
+    /// `recover` clear (inside a re-execution) failures surface directly:
+    /// deeper loss escalates as a typed error instead of recursing.
+    ///
+    /// Returns `(inputs by upstream stage name, bytes read, external
+    /// partition keys read)` — the key list is this task's lineage.
+    fn gather_inputs(
+        &self,
+        cx: &TaskCtx<'_>,
+        s: StageId,
+        t: u32,
+        recover: bool,
+    ) -> Result<GatheredInputs, ExecError> {
+        let dag = &cx.plan.dag;
+        let my_server = cx.schedule.placement[s.index()].server_of_task(t).index();
+        let mut inputs: BTreeMap<String, Table> = BTreeMap::new();
+        let mut bytes_read = 0u64;
+        let mut input_keys: Vec<String> = Vec::new();
+        let missing = |detail: String| ExecError::MissingInput {
+            stage: s.0,
+            task: t,
+            detail,
+        };
+        for e in dag.in_edges(s) {
+            let du = cx.schedule.dop[e.src.index()];
+            let mut parts = Vec::new();
+            for ut in 0..du {
+                let src_server = cx.schedule.placement[e.src.index()].server_of_task(ut).index();
+                let external = src_server != my_server;
+                if external && recover {
+                    self.inject_object_fault(cx, e.src, ut, e.id.0, t);
+                }
+                let recv = || {
+                    cx.dataplane
+                        .recv_partition(e.id.0, ut, t, src_server, my_server, cx.timeout)
+                };
+                let data = match recv() {
+                    Ok(d) => d,
+                    Err(err @ (StoreError::NotFound(_) | StoreError::Corrupted { .. }))
+                        if external && recover =>
+                    {
+                        // The object is gone or fails verification; heal it
+                        // through the lineage index, then read again.
+                        self.reexec_producer(cx, e.src, ut).map_err(|e2| {
+                            missing(format!(
+                                "{}: edge {}: {err}; lineage re-execution failed: {e2}",
+                                cx.plan.name, e.id
+                            ))
+                        })?;
+                        recv().map_err(|err| {
+                            missing(format!(
+                                "{}: edge {}: still unreadable after lineage re-execution: {err}",
+                                cx.plan.name, e.id
+                            ))
+                        })?
+                    }
+                    Err(err) => {
+                        return Err(missing(format!("{}: edge {}: {err}", cx.plan.name, e.id)))
+                    }
+                };
+                bytes_read += data.len() as u64;
+                if external {
+                    input_keys.push(partition_key(e.id.0, ut, t));
+                }
+                parts.push(Table::decode(data));
+            }
+            let merged = Table::concat(&parts).ok_or_else(|| {
+                missing(format!(
+                    "{}: edge {} has no upstream tasks",
+                    cx.plan.name, e.id
+                ))
+            })?;
+            inputs.insert(dag.stage(e.src).name.clone(), merged);
+        }
+        Ok((inputs, bytes_read, input_keys))
+    }
+
+    /// Physically apply a planned object fault to one stored partition of
+    /// producer `(src, ut)` — delete on loss, checksum-tamper on
+    /// corruption. First reader pays: each faulted producer is applied
+    /// (and later healed) exactly once per run.
+    fn inject_object_fault(&self, cx: &TaskCtx<'_>, src: StageId, ut: u32, edge: u32, t: u32) {
+        let Some(kind) = self.faults.object_fault(src, ut) else {
+            return;
+        };
+        if !cx
+            .recovered
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert((src.0, ut))
+        {
+            return; // already applied and healed; the regenerated object stands
+        }
+        let key = partition_key(edge, ut, t);
+        let store = cx.dataplane.external_store();
+        let mut st = cx.stats.lock().unwrap_or_else(|p| p.into_inner());
+        match kind {
+            crate::faults::ObjectFaultKind::Loss => {
+                store.delete(&key);
+                st.object_losses += 1;
+            }
+            crate::faults::ObjectFaultKind::Corruption => {
+                if store.tamper(&key) {
+                    st.object_corruptions += 1;
+                } else {
+                    // Nothing stored to corrupt (e.g. raced with deletion):
+                    // degrade to a loss so the fault still lands.
+                    store.delete(&key);
+                    st.object_losses += 1;
+                }
+            }
+        }
+    }
+
+    /// Bounded lineage re-execution: re-run producer task `(src, ut)` and
+    /// republish its *external* output partitions (idempotent puts; the
+    /// regenerated bytes are identical because evaluation is
+    /// deterministic). One level only — the producer's own inputs must
+    /// still be readable. External inputs persist in the object store;
+    /// consumed shared-memory slots cannot be replayed, so recovery of a
+    /// producer with co-located inputs escalates as a typed error (the
+    /// simulator models the general case).
+    fn reexec_producer(&self, cx: &TaskCtx<'_>, src: StageId, ut: u32) -> Result<(), ExecError> {
+        let (inputs, _, input_keys) = self.gather_inputs(cx, src, ut, false)?;
+        let scan_slice = match &cx.plan.stages[src.index()].op {
+            StageOp::Scan { table, .. } => Some(
+                cx.db
+                    .table(table)
+                    .split(cx.schedule.dop[src.index()] as usize)[ut as usize]
+                    .clone(),
+            ),
+            _ => None,
+        };
+        let out = cx
+            .plan
+            .execute_stage(src, cx.db, &inputs, scan_slice.as_ref());
+        self.scatter_outputs(cx, src, ut, &out, &input_keys, true)?;
+        let mut st = cx.stats.lock().unwrap_or_else(|p| p.into_inner());
+        st.lineage_reexecs += 1;
+        st.extra_attempts += 1;
+        Ok(())
+    }
+
+    /// Scatter task `(s, t)`'s output across its out-edges. Every external
+    /// partition is recorded in the data plane's lineage index under the
+    /// keys of the inputs that produced it. With `external_only` (the
+    /// lineage re-execution path) shared-memory sends are skipped: only
+    /// externally stored objects can have been lost, and the original
+    /// consumers already drained their bus slots.
+    fn scatter_outputs(
+        &self,
+        cx: &TaskCtx<'_>,
+        s: StageId,
+        t: u32,
+        out: &Table,
+        input_keys: &[String],
+        external_only: bool,
+    ) -> Result<u64, ExecError> {
+        let dag = &cx.plan.dag;
+        let my_server = cx.schedule.placement[s.index()].server_of_task(t).index();
+        let mut bytes_written = 0u64;
+        for e in dag.out_edges(s) {
+            let dv = cx.schedule.dop[e.dst.index()];
+            let buckets: Vec<Table> = match e.kind {
+                EdgeKind::Shuffle => {
+                    let key = cx.plan.stages[s.index()]
+                        .output_key
+                        .as_deref()
+                        .ok_or(ExecError::MissingOutputKey { stage: s.0 })?;
+                    out.hash_partition(key, dv as usize)
+                }
+                EdgeKind::Gather => {
+                    // Full output to consumer (t % dv); empty markers keep
+                    // schemas flowing to the rest.
+                    let target = t % dv;
+                    (0..dv)
+                        .map(|vt| {
+                            if vt == target {
+                                out.clone()
+                            } else {
+                                Table::empty(out.schema.clone())
+                            }
+                        })
+                        .collect()
+                }
+                EdgeKind::AllGather => (0..dv).map(|_| out.clone()).collect(),
+            };
+            for (vt, bucket) in buckets.into_iter().enumerate() {
+                let dst_server = cx.schedule.placement[e.dst.index()]
+                    .server_of_task(vt as u32)
+                    .index();
+                if external_only && dst_server == my_server {
+                    continue;
+                }
+                let data = bucket.encode();
+                bytes_written += data.len() as u64;
+                cx.dataplane
+                    .send_partition(e.id.0, t, vt as u32, my_server, dst_server, data)
+                    .map_err(|err| {
+                        ExecError::DataPlane(format!(
+                            "{}: stage {s} task {t}: {err}",
+                            cx.plan.name
+                        ))
+                    })?;
+                if dst_server != my_server {
+                    cx.dataplane.lineage().record(
+                        partition_key(e.id.0, t, vt as u32),
+                        s.0,
+                        t,
+                        input_keys.to_vec(),
+                    );
+                }
+            }
+        }
+        Ok(bytes_written)
+    }
+}
+
+/// Shared references threaded through one task's data-path helpers.
+struct TaskCtx<'a> {
+    plan: &'a QueryPlan,
+    db: &'a Database,
+    schedule: &'a Schedule,
+    dataplane: &'a DataPlane,
+    timeout: Duration,
+    stats: &'a Mutex<FaultStats>,
+    /// Producer tasks whose object fault has been applied (and healed):
+    /// first reader pays, everyone else reads the regenerated object.
+    recovered: &'a Mutex<BTreeSet<(u32, u32)>>,
 }
 
 #[cfg(test)]
@@ -637,6 +845,88 @@ mod tests {
             .any(|a| a.outcome == AttemptOutcome::Superseded));
         assert!(out.fault_stats.wasted_gb_s > 0.0, "wasted work is billed");
         assert_eq!(out.fault_stats.speculative_copies, 1);
+    }
+
+    #[test]
+    fn object_loss_and_corruption_healed_by_lineage_reexecution() {
+        use crate::faults::FaultEvent;
+        let db = Database::generate(ScaleConfig::with_sf(0.2));
+        let plan = Query::Q1.prepared_plan(&db);
+        let model = JobTimeModel::from_rates(&plan.dag, &RateConfig::default());
+        let free = vec![8u32, 8];
+        let rm = ResourceManager::from_free_slots(free.clone());
+        let mut schedule = EvenSplitScheduler.schedule(&SchedulingContext {
+            dag: &plan.dag,
+            model: &model,
+            resources: &rm,
+            objective: Objective::Jct,
+        });
+        // EvenSplit packs Q1's whole prefix (stages 0–3) onto server 0, so
+        // the scan's shuffle partitions never leave shared memory and an
+        // injected object fault would have nothing to hit. Move the scan's
+        // consumer to the other server: edge 0→1 now rides the external
+        // object store, and stage 0 — a scan — is exactly the kind of
+        // producer lineage re-execution can regenerate from base tables.
+        schedule.placement[1] = ditto_core::TaskPlacement::Single(ditto_cluster::ServerId(1));
+        let clean = LocalRuntime::new()
+            .try_run(&plan, &db, &schedule, &DataPlane::new(Medium::S3, free.len()))
+            .unwrap();
+        // Lose one scan task's stored output and corrupt another's: the
+        // first consumer's read detects each (not-found / checksum
+        // mismatch), re-executes the producing task through the lineage
+        // index, and the job completes with the exact same answer.
+        let dataplane = DataPlane::new(Medium::S3, free.len());
+        let out = LocalRuntime {
+            faults: FaultPlan::from_events(vec![
+                FaultEvent::ObjectLoss { stage: StageId(0), task: 0 },
+                FaultEvent::ObjectCorruption { stage: StageId(0), task: 1 },
+            ]),
+            recovery: RecoveryPolicy::default(),
+            ..Default::default()
+        }
+        .try_run(&plan, &db, &schedule, &dataplane)
+        .unwrap();
+        assert_eq!(
+            out.result.encode(),
+            clean.result.encode(),
+            "healed run must produce the exact same final table"
+        );
+        assert_eq!(out.fault_stats.object_losses, 1);
+        assert_eq!(out.fault_stats.object_corruptions, 1);
+        assert_eq!(out.fault_stats.lineage_reexecs, 2);
+        assert!(
+            out.fault_stats.storage_retries > 0,
+            "the lost object's read must have burned bounded retries"
+        );
+        assert!(!dataplane.lineage().is_empty(), "lineage index populated");
+    }
+
+    #[test]
+    fn read_retry_policy_derives_from_recovery_policy() {
+        let db = Database::generate(ScaleConfig::with_sf(0.1));
+        let plan = Query::Q1.prepared_plan(&db);
+        let model = JobTimeModel::from_rates(&plan.dag, &RateConfig::default());
+        let rm = ResourceManager::from_free_slots(vec![8, 8]);
+        let schedule = EvenSplitScheduler.schedule(&SchedulingContext {
+            dag: &plan.dag,
+            model: &model,
+            resources: &rm,
+            objective: Objective::Jct,
+        });
+        let dataplane = DataPlane::new(Medium::S3, 2);
+        let runtime = LocalRuntime {
+            recovery: RecoveryPolicy {
+                max_retries: 7,
+                ..RecoveryPolicy::default()
+            },
+            ..Default::default()
+        };
+        runtime
+            .try_run(&plan, &db, &schedule, &dataplane)
+            .unwrap();
+        let p = dataplane.read_retry();
+        assert_eq!(p.max_attempts, 8, "one knob bounds both retry paths");
+        assert!(p.backoff_base <= 0.005, "wall waits stay capped");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! regenerate the paper's Fig. 14 (per-stage step breakdown) and Fig. 15
 //! (stage-and-task Gantt view of fixed vs elastic parallelism).
 
+use crate::adaptive::ReplanRecord;
 use crate::faults::{AttemptOutcome, AttemptRecord};
 use ditto_cluster::ServerId;
 use ditto_obs::StepTimings;
@@ -79,6 +80,10 @@ pub struct ExecutionTrace {
     /// speculation (empty for fault-free runs): each failed / superseded
     /// attempt plus the final completed one.
     pub attempts: Vec<AttemptRecord>,
+    /// Suffix re-optimizations performed by the adaptive engine (empty
+    /// for frozen-schedule runs): trigger, learned corrections, old/new
+    /// predicted JCT and the feasibility-certificate outcome of each.
+    pub replans: Vec<ReplanRecord>,
 }
 
 impl ExecutionTrace {
@@ -295,6 +300,7 @@ mod tests {
     fn jct_is_latest_end() {
         let tr = ExecutionTrace {
             attempts: vec![],
+            replans: vec![],
             tasks: vec![
                 task(0, 0, 0.0, (0.1, 1.0, 1.0, 0.5)),
                 task(1, 0, 3.0, (0.1, 1.0, 2.0, 0.5)),
@@ -308,6 +314,7 @@ mod tests {
     fn breakdown_averages_tasks() {
         let tr = ExecutionTrace {
             attempts: vec![],
+            replans: vec![],
             tasks: vec![
                 task(0, 0, 0.0, (0.2, 1.0, 2.0, 1.0)),
                 task(0, 1, 0.0, (0.2, 3.0, 4.0, 1.0)),
@@ -324,6 +331,7 @@ mod tests {
     fn compute_cost_sums_gb_seconds() {
         let tr = ExecutionTrace {
             attempts: vec![],
+            replans: vec![],
             tasks: vec![task(0, 0, 0.0, (0.0, 1.0, 1.0, 0.0))],
         };
         assert!((tr.compute_cost() - 4.0).abs() < 1e-12); // 2 GB × 2 s
@@ -333,6 +341,7 @@ mod tests {
     fn utilization_counts_busy_slots() {
         let tr = ExecutionTrace {
             attempts: vec![],
+            replans: vec![],
             tasks: vec![
                 task(0, 0, 0.0, (0.0, 1.0, 1.0, 0.0)), // busy 0..2
                 task(0, 1, 0.0, (0.0, 1.0, 1.0, 0.0)), // busy 0..2
@@ -355,6 +364,7 @@ mod tests {
     fn chrome_trace_is_valid_json_with_events() {
         let tr = ExecutionTrace {
             attempts: vec![],
+            replans: vec![],
             tasks: vec![
                 task(0, 0, 0.0, (0.1, 1.0, 1.0, 0.5)),
                 task(1, 0, 2.6, (0.1, 1.0, 1.0, 0.5)),
@@ -368,6 +378,7 @@ mod tests {
         // Zero-duration steps are dropped.
         let tr2 = ExecutionTrace {
             attempts: vec![],
+            replans: vec![],
             tasks: vec![task(0, 0, 0.0, (0.0, 1.0, 1.0, 0.0))],
         };
         let v2: serde_json::Value = serde_json::from_str(&tr2.to_chrome_trace()).unwrap();
@@ -378,6 +389,7 @@ mod tests {
     fn gantt_renders_rows() {
         let tr = ExecutionTrace {
             attempts: vec![],
+            replans: vec![],
             tasks: vec![
                 task(0, 0, 0.0, (0.1, 1.0, 1.0, 0.5)),
                 task(1, 0, 2.6, (0.1, 1.0, 1.0, 0.5)),

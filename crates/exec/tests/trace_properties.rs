@@ -35,7 +35,7 @@ fn traced_chain_run(stages: u32, gb: u64, selectivity: f64, rate: f64, seed: u64
         crash_prob: rate,
         straggler_prob: rate,
         straggler_slowdown: 3.0,
-        seed,
+        ..FaultRates::none(seed)
     });
     let policy = RecoveryPolicy {
         max_retries: 16,

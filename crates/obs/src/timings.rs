@@ -63,6 +63,22 @@ impl StepTimings {
     pub fn as_tuple(&self) -> (f64, f64, f64, f64) {
         (self.setup, self.read, self.compute, self.write)
     }
+
+    /// Element-wise observed/predicted ratio against `predicted`.
+    ///
+    /// Steps whose prediction is ~zero (below `eps`) yield a neutral 1.0 —
+    /// there is no signal to learn a correction from when the model says a
+    /// step costs nothing. The drift detector in `ditto-cluster` feeds
+    /// these ratios into its per-step EWMAs.
+    pub fn ratio_to(&self, predicted: &StepTimings, eps: f64) -> StepTimings {
+        let r = |obs: f64, pred: f64| if pred > eps { obs / pred } else { 1.0 };
+        StepTimings {
+            setup: r(self.setup, predicted.setup),
+            read: r(self.read, predicted.read),
+            compute: r(self.compute, predicted.compute),
+            write: r(self.write, predicted.write),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -77,5 +93,13 @@ mod tests {
         assert_eq!(sum.total(), 13.0);
         let mean = sum.scaled(0.5);
         assert_eq!(mean.as_tuple(), (0.5, 2.0, 3.0, 1.0));
+    }
+
+    #[test]
+    fn ratios_with_zero_guard() {
+        let obs = StepTimings::new(1.0, 4.0, 6.0, 0.5);
+        let pred = StepTimings::new(1.0, 2.0, 3.0, 0.0);
+        let r = obs.ratio_to(&pred, 1e-9);
+        assert_eq!(r.as_tuple(), (1.0, 2.0, 2.0, 1.0));
     }
 }

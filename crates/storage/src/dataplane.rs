@@ -12,6 +12,8 @@
 //! accrued per medium — the source of the shared-memory/Redis cost terms in
 //! the paper's cost metric (§6.2).
 
+use crate::checksum::checksum64;
+use crate::lineage::LineageIndex;
 use crate::medium::{CostModel, Medium, TransferModel};
 use crate::object_store::{ObjectStore, StoreError};
 use crate::sharedmem::SharedMemoryBus;
@@ -19,6 +21,64 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Bounded-retry policy for external reads.
+///
+/// The exec-layer `RecoveryPolicy` governs task re-execution; this is its
+/// storage-side counterpart for the read path, built from the same
+/// `max_retries` / `backoff_base` knobs so one configuration bounds both
+/// (the satellite fix: storage reads used to poll unbounded and invisibly).
+/// Backoff between attempts is exponential with deterministic jitter
+/// derived from the partition key, so reruns with the same seed take the
+/// same wait schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadRetryPolicy {
+    /// Maximum read attempts before giving up (≥ 1).
+    pub max_attempts: u32,
+    /// First backoff between attempts, seconds; doubles each retry.
+    pub backoff_base: f64,
+    /// Jitter fraction in `[0, 1]`: each backoff is scaled by
+    /// `1 ± jitter` (deterministically, keyed by partition + attempt).
+    pub jitter: f64,
+}
+
+impl Default for ReadRetryPolicy {
+    fn default() -> Self {
+        // 64 doublings of 200µs span far beyond any test timeout while
+        // keeping every wait bounded and accounted.
+        ReadRetryPolicy {
+            max_attempts: 64,
+            backoff_base: 200e-6,
+            jitter: 0.25,
+        }
+    }
+}
+
+impl ReadRetryPolicy {
+    /// Backoff before retry number `attempt` (0-based) of `key`, seconds.
+    /// Exponential base-2 growth, capped at 50ms, with multiplicative
+    /// jitter drawn deterministically from `(key, attempt)`.
+    pub fn backoff(&self, key: &str, attempt: u32) -> f64 {
+        let raw = (self.backoff_base * 2f64.powi(attempt.min(16) as i32)).min(0.05);
+        let h = checksum64(key.as_bytes(), attempt as u64);
+        // Map the hash onto [-1, 1] then into the jitter band.
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+        raw * (1.0 + self.jitter * unit)
+    }
+}
+
+/// Accounting of external-read retries (the formerly invisible path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReadRetryStats {
+    /// Reads that needed more than one attempt.
+    pub retried_reads: u64,
+    /// Total extra attempts across all reads.
+    pub extra_attempts: u64,
+    /// Reads that exhausted the attempt budget (or the caller's deadline).
+    pub exhausted: u64,
+    /// Reads that failed checksum verification.
+    pub corrupt_reads: u64,
+}
 
 /// Accumulated transfer and persistence accounting, per medium.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -76,6 +136,9 @@ pub struct DataPlane {
     buses: Vec<Arc<SharedMemoryBus>>,
     ledger: Mutex<TransferLedger>,
     obs: Mutex<Option<Arc<ditto_obs::Recorder>>>,
+    retry: Mutex<ReadRetryPolicy>,
+    read_stats: Mutex<ReadRetryStats>,
+    lineage: LineageIndex,
 }
 
 impl DataPlane {
@@ -102,7 +165,31 @@ impl DataPlane {
             buses: (0..n_servers).map(|_| Arc::new(SharedMemoryBus::new())).collect(),
             ledger: Mutex::new(TransferLedger::default()),
             obs: Mutex::new(None),
+            retry: Mutex::new(ReadRetryPolicy::default()),
+            read_stats: Mutex::new(ReadRetryStats::default()),
+            lineage: LineageIndex::new(),
         }
+    }
+
+    /// Replace the external-read retry policy (the runtime derives it from
+    /// its `RecoveryPolicy` so one knob bounds task and read retries alike).
+    pub fn set_read_retry(&self, policy: ReadRetryPolicy) {
+        *self.retry.lock() = policy;
+    }
+
+    /// Current external-read retry policy.
+    pub fn read_retry(&self) -> ReadRetryPolicy {
+        *self.retry.lock()
+    }
+
+    /// Snapshot of external-read retry accounting.
+    pub fn read_stats(&self) -> ReadRetryStats {
+        *self.read_stats.lock()
+    }
+
+    /// The lineage index mapping intermediate objects to their producers.
+    pub fn lineage(&self) -> &LineageIndex {
+        &self.lineage
     }
 
     /// Attach a telemetry recorder: every subsequent transfer also lands
@@ -222,17 +309,47 @@ impl DataPlane {
                 }),
             _ => {
                 let key = partition_key(edge, from_task, to_task);
-                // External stores have no blocking read; poll with backoff
-                // (the local runtime launches consumers after producers, so
-                // this loop rarely spins more than once).
+                // External stores have no blocking read; poll with bounded,
+                // jittered backoff (the local runtime launches consumers
+                // after producers, so this loop rarely spins more than
+                // once). Both the attempt budget and the caller's deadline
+                // bound the loop; corruption is surfaced immediately — the
+                // bytes will not improve by re-reading, only lineage
+                // re-execution can heal them.
+                let policy = self.read_retry();
                 let deadline = std::time::Instant::now() + timeout;
+                let mut attempt = 0u32;
                 loop {
                     match self.external.get(&key) {
-                        Ok(b) => return Ok(b),
-                        Err(StoreError::NotFound(_)) if std::time::Instant::now() < deadline => {
-                            std::thread::sleep(Duration::from_micros(200));
+                        Ok(b) => {
+                            if attempt > 0 {
+                                let mut st = self.read_stats.lock();
+                                st.retried_reads += 1;
+                                st.extra_attempts += attempt as u64;
+                            }
+                            return Ok(b);
                         }
-                        Err(e) => return Err(e),
+                        Err(StoreError::NotFound(_))
+                            if attempt + 1 < policy.max_attempts
+                                && std::time::Instant::now() < deadline =>
+                        {
+                            std::thread::sleep(Duration::from_secs_f64(
+                                policy.backoff(&key, attempt),
+                            ));
+                            attempt += 1;
+                        }
+                        Err(e) => {
+                            let mut st = self.read_stats.lock();
+                            if attempt > 0 {
+                                st.extra_attempts += attempt as u64;
+                            }
+                            match &e {
+                                StoreError::Corrupted { .. } => st.corrupt_reads += 1,
+                                StoreError::NotFound(_) => st.exhausted += 1,
+                                StoreError::CapacityExceeded { .. } => {}
+                            }
+                            return Err(e);
+                        }
                     }
                 }
             }
@@ -250,7 +367,10 @@ impl std::fmt::Debug for DataPlane {
     }
 }
 
-fn partition_key(edge: u32, from_task: u32, to_task: u32) -> String {
+/// The store key of one shuffled partition: `(edge, producer, consumer)`.
+/// Public so the runtime's lineage index can address objects by the same
+/// name the data plane stores them under.
+pub fn partition_key(edge: u32, from_task: u32, to_task: u32) -> String {
     format!("shuffle/e{edge}/{from_task}/{to_task}")
 }
 
@@ -326,6 +446,61 @@ mod tests {
         };
         assert_eq!(get("shared-memory"), Some(5.0));
         assert_eq!(get("s3"), Some(7.0));
+    }
+
+    #[test]
+    fn bounded_read_retry_gives_up_and_accounts() {
+        let dp = DataPlane::new(Medium::S3, 2);
+        dp.set_read_retry(ReadRetryPolicy {
+            max_attempts: 3,
+            backoff_base: 1e-4,
+            jitter: 0.5,
+        });
+        let err = dp
+            .recv_partition(9, 0, 0, 0, 1, Duration::from_secs(5))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::NotFound(_)));
+        let st = dp.read_stats();
+        assert_eq!(st.exhausted, 1);
+        assert_eq!(st.extra_attempts, 2);
+    }
+
+    #[test]
+    fn late_publish_counts_as_retried_read() {
+        let dp = Arc::new(DataPlane::new(Medium::S3, 2));
+        let dp2 = dp.clone();
+        let t = std::thread::spawn(move || {
+            dp2.recv_partition(1, 0, 0, 0, 1, Duration::from_secs(2))
+        });
+        std::thread::sleep(Duration::from_millis(15));
+        dp.send_partition(1, 0, 0, 0, 1, Bytes::from_static(b"late")).unwrap();
+        assert_eq!(t.join().unwrap().unwrap(), Bytes::from_static(b"late"));
+        let st = dp.read_stats();
+        assert_eq!(st.retried_reads, 1);
+        assert!(st.extra_attempts >= 1);
+    }
+
+    #[test]
+    fn corrupt_partition_surfaces_without_retry() {
+        let dp = DataPlane::new(Medium::S3, 2);
+        dp.send_partition(2, 0, 0, 0, 1, Bytes::from_static(b"good")).unwrap();
+        assert!(dp.external_store().tamper(&partition_key(2, 0, 0)));
+        let err = dp
+            .recv_partition(2, 0, 0, 0, 1, Duration::from_millis(50))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Corrupted { .. }));
+        assert_eq!(dp.read_stats().corrupt_reads, 1);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_jittered() {
+        let p = ReadRetryPolicy::default();
+        assert_eq!(p.backoff("k", 3), p.backoff("k", 3));
+        assert_ne!(p.backoff("k", 3), p.backoff("k", 4));
+        for a in 0..80 {
+            let b = p.backoff("some/key", a);
+            assert!(b > 0.0 && b <= 0.05 * (1.0 + p.jitter), "attempt {a}: {b}");
+        }
     }
 
     #[test]

@@ -22,12 +22,16 @@
 //!   cost per medium — the cost source the paper charges for shared memory
 //!   and Redis in §6.2/§6.3.
 
+pub mod checksum;
 pub mod dataplane;
+pub mod lineage;
 pub mod medium;
 pub mod object_store;
 pub mod sharedmem;
 
-pub use dataplane::{DataPlane, TransferLedger};
+pub use checksum::checksum64;
+pub use dataplane::{partition_key, DataPlane, ReadRetryPolicy, ReadRetryStats, TransferLedger};
+pub use lineage::{LineageIndex, Provenance};
 pub use medium::{CostModel, Medium, TransferModel};
 pub use object_store::{ObjectStore, StoreError};
 pub use sharedmem::SharedMemoryBus;

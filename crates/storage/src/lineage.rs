@@ -1,0 +1,152 @@
+//! Lineage tracking for intermediate objects.
+//!
+//! Wukong-style recovery: rather than replicating every intermediate
+//! partition, remember which (stage, task) produced each object and which
+//! input objects that producer consumed. When a read finds the object lost
+//! or corrupted, the runtime re-executes just the producing task — its
+//! inputs are still addressable through the same index, recursively — before
+//! escalating to a full suffix reschedule.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Provenance of one intermediate object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// Stage that produced the object.
+    pub stage: u32,
+    /// Task within the stage that produced it.
+    pub task: u32,
+    /// Keys of the objects the producing task consumed (empty for source
+    /// stages reading external input).
+    pub inputs: Vec<String>,
+}
+
+/// Thread-safe map from object key to the task that produced it.
+///
+/// Keys are held in a `BTreeMap` so iteration order (and hence any recovery
+/// trace built from it) is deterministic.
+#[derive(Debug, Default)]
+pub struct LineageIndex {
+    inner: Mutex<BTreeMap<String, Provenance>>,
+}
+
+impl LineageIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `(stage, task)` produced `key` from `inputs`.
+    pub fn record(&self, key: impl Into<String>, stage: u32, task: u32, inputs: Vec<String>) {
+        self.inner.lock().insert(
+            key.into(),
+            Provenance {
+                stage,
+                task,
+                inputs,
+            },
+        );
+    }
+
+    /// Provenance of `key`, if recorded.
+    pub fn lookup(&self, key: &str) -> Option<Provenance> {
+        self.inner.lock().get(key).cloned()
+    }
+
+    /// The producing `(stage, task)` of `key`, if recorded.
+    pub fn producer(&self, key: &str) -> Option<(u32, u32)> {
+        self.inner.lock().get(key).map(|p| (p.stage, p.task))
+    }
+
+    /// Number of tracked objects.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// `true` when no objects are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Transitive closure of inputs needed to rebuild `key`, deepest first
+    /// (inputs before the object they feed), deduplicated. The result is
+    /// the bounded re-execution frontier: replaying producers in this order
+    /// rebuilds `key` without reading any lost ancestor.
+    pub fn rebuild_order(&self, key: &str) -> Vec<String> {
+        let inner = self.inner.lock();
+        let mut order = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        // Iterative post-order: bounded by the number of tracked objects.
+        let mut stack = vec![(key.to_string(), false)];
+        while let Some((k, expanded)) = stack.pop() {
+            if expanded {
+                if seen.insert(k.clone()) {
+                    order.push(k);
+                }
+                continue;
+            }
+            if seen.contains(&k) {
+                continue;
+            }
+            stack.push((k.clone(), true));
+            if let Some(p) = inner.get(&k) {
+                for input in p.inputs.iter().rev() {
+                    stack.push((input.clone(), false));
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_lookup() {
+        let idx = LineageIndex::new();
+        assert!(idx.is_empty());
+        idx.record("b/0", 1, 0, vec!["a/0".into(), "a/1".into()]);
+        idx.record("a/0", 0, 0, vec![]);
+        idx.record("a/1", 0, 1, vec![]);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.producer("b/0"), Some((1, 0)));
+        assert_eq!(
+            idx.lookup("a/1"),
+            Some(Provenance {
+                stage: 0,
+                task: 1,
+                inputs: vec![]
+            })
+        );
+        assert_eq!(idx.lookup("nope"), None);
+    }
+
+    #[test]
+    fn rebuild_order_is_inputs_first() {
+        let idx = LineageIndex::new();
+        idx.record("c/0", 2, 0, vec!["b/0".into()]);
+        idx.record("b/0", 1, 0, vec!["a/0".into(), "a/1".into()]);
+        idx.record("a/0", 0, 0, vec![]);
+        idx.record("a/1", 0, 1, vec![]);
+        let order = idx.rebuild_order("c/0");
+        assert_eq!(order, vec!["a/0", "a/1", "b/0", "c/0"]);
+    }
+
+    #[test]
+    fn rebuild_order_dedups_shared_ancestors() {
+        let idx = LineageIndex::new();
+        idx.record("d/0", 3, 0, vec!["b/0".into(), "c/0".into()]);
+        idx.record("b/0", 1, 0, vec!["a/0".into()]);
+        idx.record("c/0", 2, 0, vec!["a/0".into()]);
+        idx.record("a/0", 0, 0, vec![]);
+        let order = idx.rebuild_order("d/0");
+        assert_eq!(order.iter().filter(|k| *k == "a/0").count(), 1);
+        let pos = |k: &str| order.iter().position(|x| x == k).unwrap();
+        assert!(pos("a/0") < pos("b/0"));
+        assert!(pos("a/0") < pos("c/0"));
+        assert!(pos("b/0") < pos("d/0"));
+    }
+}

@@ -1,6 +1,7 @@
 //! In-memory object store simulating S3/Redis: keyed blobs with optional
-//! capacity bounds and usage statistics.
+//! capacity bounds, per-object checksums, and usage statistics.
 
+use crate::checksum::{checksum64, STORE_SEED};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -19,6 +20,16 @@ pub enum StoreError {
     },
     /// Get of a key that was never put (or was deleted).
     NotFound(String),
+    /// Get of a key whose bytes no longer match the checksum recorded at
+    /// put time — the intermediate object was silently corrupted.
+    Corrupted {
+        /// The corrupted key.
+        key: String,
+        /// Checksum recorded on put.
+        expected: u64,
+        /// Checksum of the bytes as read.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -29,6 +40,14 @@ impl fmt::Display for StoreError {
                 requested,
             } => write!(f, "capacity exceeded: {requested} > {capacity} bytes"),
             StoreError::NotFound(k) => write!(f, "object not found: {k:?}"),
+            StoreError::Corrupted {
+                key,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "object {key:?} corrupted: checksum {actual:#018x} != recorded {expected:#018x}"
+            ),
         }
     }
 }
@@ -50,6 +69,8 @@ pub struct StoreStats {
     pub bytes_written: u64,
     /// Total bytes ever read.
     pub bytes_read: u64,
+    /// Gets that failed checksum verification.
+    pub corrupt_reads: u64,
 }
 
 /// A thread-safe keyed blob store.
@@ -64,9 +85,15 @@ pub struct ObjectStore {
     inner: Mutex<Inner>,
 }
 
+/// One stored blob plus the checksum recorded when it was put.
+struct StoredObject {
+    data: Bytes,
+    checksum: u64,
+}
+
 #[derive(Default)]
 struct Inner {
-    objects: HashMap<String, Bytes>,
+    objects: HashMap<String, StoredObject>,
     stats: StoreStats,
 }
 
@@ -99,11 +126,18 @@ impl ObjectStore {
         self.capacity
     }
 
-    /// Store a blob under `key`, replacing any previous value.
+    /// Store a blob under `key`, replacing any previous value. The blob's
+    /// checksum is recorded so later [`get`]s can detect corruption.
+    ///
+    /// [`get`]: ObjectStore::get
     pub fn put(&self, key: impl Into<String>, value: Bytes) -> Result<(), StoreError> {
         let key = key.into();
         let mut inner = self.inner.lock();
-        let old = inner.objects.get(&key).map(|b| b.len() as u64).unwrap_or(0);
+        let old = inner
+            .objects
+            .get(&key)
+            .map(|o| o.data.len() as u64)
+            .unwrap_or(0);
         let new_resident = inner.stats.resident_bytes - old + value.len() as u64;
         if let Some(cap) = self.capacity {
             if new_resident > cap {
@@ -117,18 +151,34 @@ impl ObjectStore {
         inner.stats.bytes_written += value.len() as u64;
         inner.stats.resident_bytes = new_resident;
         inner.stats.peak_bytes = inner.stats.peak_bytes.max(new_resident);
-        inner.objects.insert(key, value);
+        let checksum = checksum64(&value, STORE_SEED);
+        inner.objects.insert(
+            key,
+            StoredObject {
+                data: value,
+                checksum,
+            },
+        );
         Ok(())
     }
 
-    /// Fetch a blob (zero-copy clone of the stored `Bytes`).
+    /// Fetch a blob (zero-copy clone of the stored `Bytes`), verifying it
+    /// against the checksum recorded at put time.
     pub fn get(&self, key: &str) -> Result<Bytes, StoreError> {
         let mut inner = self.inner.lock();
-        let v = inner
-            .objects
-            .get(key)
-            .cloned()
-            .ok_or_else(|| StoreError::NotFound(key.to_string()))?;
+        let (v, expected) = match inner.objects.get(key) {
+            Some(o) => (o.data.clone(), o.checksum),
+            None => return Err(StoreError::NotFound(key.to_string())),
+        };
+        let actual = checksum64(&v, STORE_SEED);
+        if actual != expected {
+            inner.stats.corrupt_reads += 1;
+            return Err(StoreError::Corrupted {
+                key: key.to_string(),
+                expected,
+                actual,
+            });
+        }
         inner.stats.gets += 1;
         inner.stats.bytes_read += v.len() as u64;
         Ok(v)
@@ -138,12 +188,37 @@ impl ObjectStore {
     /// (how Redis recovers capacity once downstream consumed the data).
     pub fn delete(&self, key: &str) -> bool {
         let mut inner = self.inner.lock();
-        if let Some(v) = inner.objects.remove(key) {
-            inner.stats.resident_bytes -= v.len() as u64;
+        if let Some(o) = inner.objects.remove(key) {
+            inner.stats.resident_bytes -= o.data.len() as u64;
             true
         } else {
             false
         }
+    }
+
+    /// Flip bits in the stored blob without updating its recorded checksum
+    /// — a corruption injector for fault testing. `true` if the key existed.
+    pub fn tamper(&self, key: &str) -> bool {
+        let mut inner = self.inner.lock();
+        let grew = match inner.objects.get_mut(key) {
+            Some(o) => {
+                let mut data = o.data.to_vec();
+                if data.is_empty() {
+                    // An empty blob has no bit to flip; grow it instead.
+                    data.push(0xFF);
+                } else {
+                    let mid = data.len() / 2;
+                    data[mid] ^= 0x5A;
+                }
+                let grew = data.len() as u64 - o.data.len() as u64;
+                o.data = Bytes::from(data);
+                grew
+            }
+            None => return false,
+        };
+        inner.stats.resident_bytes += grew;
+        inner.stats.peak_bytes = inner.stats.peak_bytes.max(inner.stats.resident_bytes);
+        true
     }
 
     /// `true` if the key is present.
@@ -188,6 +263,28 @@ mod tests {
     fn get_missing_errors() {
         let s = ObjectStore::unbounded("s3");
         assert!(matches!(s.get("nope"), Err(StoreError::NotFound(_))));
+    }
+
+    #[test]
+    fn tampered_object_fails_checksum() {
+        let s = ObjectStore::unbounded("s3");
+        s.put("a/0", Bytes::from_static(b"payload")).unwrap();
+        assert!(s.tamper("a/0"));
+        let err = s.get("a/0").unwrap_err();
+        assert!(matches!(err, StoreError::Corrupted { .. }), "{err}");
+        assert_eq!(s.stats().corrupt_reads, 1);
+        // Re-putting clean bytes heals the key.
+        s.put("a/0", Bytes::from_static(b"payload")).unwrap();
+        assert_eq!(s.get("a/0").unwrap(), Bytes::from_static(b"payload"));
+        assert!(!s.tamper("missing"));
+    }
+
+    #[test]
+    fn tamper_empty_object_detected() {
+        let s = ObjectStore::unbounded("s3");
+        s.put("e", Bytes::new()).unwrap();
+        assert!(s.tamper("e"));
+        assert!(matches!(s.get("e"), Err(StoreError::Corrupted { .. })));
     }
 
     #[test]

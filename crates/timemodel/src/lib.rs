@@ -30,12 +30,14 @@
 //! * [`resource`] — the linear resource-usage model `M(s, d) = ρ + σ·d`
 //!   (paper Eq. 5) and the stage cost `M · T`.
 
+pub mod correction;
 pub mod fit;
 pub mod model;
 pub mod profile;
 pub mod resource;
 pub mod step;
 
+pub use correction::{ModelCorrections, StepCorrections, CORRECTION_CLAMP};
 pub use fit::{fit_step, FitResult};
 pub use model::{EdgeIo, JobTimeModel, StageSteps};
 pub use profile::{JobProfile, ProfileSample, StageProfile, StepTarget};

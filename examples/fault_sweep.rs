@@ -76,7 +76,7 @@ fn main() {
                     crash_prob: rate,
                     straggler_prob: rate,
                     straggler_slowdown: 4.0,
-                    seed: 17,
+                    ..FaultRates::none(17)
                 });
                 let (_, m) =
                     try_simulate_with_faults(&plan.dag, &schedule, &gt, &faults, &policy, None)
@@ -111,7 +111,7 @@ fn main() {
         crash_prob: 0.1,
         straggler_prob: 0.1,
         straggler_slowdown: 4.0,
-        seed: 17,
+        ..FaultRates::none(17)
     });
     let policy = RecoveryPolicy { max_retries: 16, ..RecoveryPolicy::default() };
     let (trace, m) =
