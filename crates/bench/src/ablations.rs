@@ -417,7 +417,7 @@ pub fn all_ablations() -> Vec<AblationRow> {
 mod tests {
     use super::*;
 
-    fn jct_of<'a>(rows: &'a [AblationRow], variant: &str) -> f64 {
+    fn jct_of(rows: &[AblationRow], variant: &str) -> f64 {
         rows.iter()
             .find(|r| r.variant.starts_with(variant))
             .unwrap_or_else(|| panic!("variant {variant} missing"))

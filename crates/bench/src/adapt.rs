@@ -19,9 +19,11 @@ use crate::setup::{prepare, PreparedQuery};
 use ditto_cluster::ResourceManager;
 use ditto_core::{DittoScheduler, JointOptions, Objective, Schedule};
 use ditto_exec::{
-    try_simulate_adaptive, try_simulate_with_faults, AdaptiveConfig, FaultPlan, FaultRates,
-    RecoveryPolicy, ReschedulingContext,
+    try_simulate_adaptive, try_simulate_adaptive_traced, try_simulate_with_faults,
+    try_simulate_with_faults_traced, AdaptiveConfig, FaultPlan, FaultRates, RecoveryPolicy,
+    ReschedulingContext,
 };
+use ditto_obs::{Recorder, TraceData};
 use ditto_sql::queries::Query;
 use ditto_storage::Medium;
 use serde::Serialize;
@@ -106,6 +108,51 @@ pub fn adapt_sweep_grid(drifts: &[f64], losses: &[f64]) -> Vec<AdaptSweepRow> {
         }
     }
     rows
+}
+
+/// The fixed-seed frozen-vs-adaptive exemplar pair under 2× compute
+/// drift (no object loss): both engines on the same schedule and fault
+/// history, each with its own live recorder. This is the input of the
+/// cross-run diff quick-start (`figures -- adapt --trace-out`) and the
+/// diff engine's acceptance test — the JCT delta between the two traces
+/// is the adaptive engine's win, and [`ditto_obs::diff_traces`] must
+/// attribute it to (stage, step) buckets.
+pub fn traced_adapt_pair() -> (TraceData, TraceData) {
+    let p = prepare(Query::Q95, Medium::S3);
+    let rm = adapt_cluster();
+    let schedule = p.schedule(&DittoScheduler::new(), &rm, Objective::Jct);
+    let plan = fault_plan(2.0, 0.0);
+    let policy = RecoveryPolicy::default();
+    let frozen_obs = Recorder::new();
+    try_simulate_with_faults_traced(
+        &p.plan.dag,
+        &schedule,
+        &p.gt,
+        &plan,
+        &policy,
+        None,
+        &frozen_obs,
+    )
+    .expect("frozen engine recovers within policy bounds");
+    let ctx = ReschedulingContext {
+        model: &p.model,
+        resources: &rm,
+        objective: Objective::Jct,
+        options: JointOptions::default(),
+    };
+    let adaptive_obs = Recorder::new();
+    try_simulate_adaptive_traced(
+        &p.plan.dag,
+        &schedule,
+        &p.gt,
+        &plan,
+        &policy,
+        &ctx,
+        &AdaptiveConfig::default(),
+        &adaptive_obs,
+    )
+    .expect("adaptive engine recovers within policy bounds");
+    (frozen_obs.finish(), adaptive_obs.finish())
 }
 
 fn fault_plan(drift: f64, loss: f64) -> FaultPlan {
@@ -263,9 +310,11 @@ mod tests {
         assert!(stats.durations > 0, "trace must carry task step events");
         assert_eq!(
             stats.pids.len(),
-            2,
-            "both servers of the sweep cluster must appear as track groups"
+            3,
+            "both servers of the sweep cluster plus the scheduler replan \
+             track must appear as track groups"
         );
+        assert!(stats.instants > 0, "replan instants must survive export");
     }
 
     /// The headline robustness number, asserted in release CI where the

@@ -11,7 +11,7 @@
 
 use ditto_cluster::ResourceManager;
 use ditto_core::reference::joint_optimize_reference;
-use ditto_core::{joint_optimize, JointOptions, Objective, Scheduler};
+use ditto_core::{joint_optimize_traced, JointOptions, Objective, Scheduler};
 use ditto_dag::generators::{random_dag, RandomDagConfig};
 use ditto_timemodel::model::RateConfig;
 use ditto_timemodel::JobTimeModel;
@@ -46,6 +46,15 @@ fn sweep_cluster() -> ResourceManager {
 /// Run the sweep: `seeds` random DAGs × both objectives × three
 /// schedulers, each audited with the full certificate chain.
 pub fn audit_sweep(seeds: u64) -> Vec<AuditSweepRow> {
+    audit_sweep_traced(seeds, &ditto_obs::Recorder::disabled())
+}
+
+/// [`audit_sweep`] with telemetry: the joint optimizer's decision spans
+/// (`sched.*`) land on `obs` for every certified schedule, so
+/// `figures -- audit --trace-out` produces a scheduler-side trace of the
+/// whole certification sweep. A disabled recorder makes this identical
+/// to [`audit_sweep`].
+pub fn audit_sweep_traced(seeds: u64, obs: &ditto_obs::Recorder) -> Vec<AuditSweepRow> {
     let mut rows = Vec::new();
     for seed in 0..seeds {
         let cfg = RandomDagConfig::default();
@@ -57,7 +66,8 @@ pub fn audit_sweep(seeds: u64) -> Vec<AuditSweepRow> {
                 Objective::Jct => "jct",
                 Objective::Cost => "cost",
             };
-            let joint = joint_optimize(&dag, &model, &rm, objective, &JointOptions::default());
+            let joint =
+                joint_optimize_traced(&dag, &model, &rm, objective, &JointOptions::default(), obs);
             let reference =
                 joint_optimize_reference(&dag, &model, &rm, objective, &JointOptions::default());
             let nimble = ditto_core::baselines::NimbleScheduler { seed }.schedule(

@@ -6,6 +6,7 @@
 //! cargo run --release -p ditto-bench --bin figures -- --json fig8a
 //! cargo run --release -p ditto-bench --bin figures -- faults --trace-out trace.json
 //! cargo run --release -p ditto-bench --bin figures -- sched        # writes BENCH_sched.json
+//! cargo run --release -p ditto-bench --bin figures -- regress      # gate vs BENCH_HISTORY.jsonl
 //! ```
 //!
 //! `sched` (and its CI subset `sched-smoke`) is not part of `all`: the
@@ -13,12 +14,20 @@
 //! stages, which is exactly the slow path the incremental rewrite
 //! retired.
 //!
-//! `--trace-out <path>` additionally runs the fixed-seed traced fault
-//! experiment and writes its full telemetry stream as a Chrome
-//! trace_event file (load in <https://ui.perfetto.dev>), printing the
-//! critical-path JCT attribution alongside.
+//! `--trace-out <path>` writes a Chrome trace_event file (load in
+//! <https://ui.perfetto.dev>) of the target's telemetry: scheduler spans
+//! for `sched` and `audit`, the adaptive 2×-drift exemplar (plus its
+//! frozen-vs-adaptive diff and predictor scorecard) for `adapt`, and the
+//! fixed-seed traced fault experiment otherwise.
+//!
+//! Every `sched|adapt|faults|telemetry` run appends a config-fingerprinted
+//! record to `BENCH_HISTORY.jsonl` (`DITTO_HISTORY_PATH` overrides);
+//! `regress` replays the deterministic experiments (`faults`,
+//! `adapt-smoke`) against that history with noise-aware thresholds and
+//! exits nonzero on regression (`--record-only` seeds history without
+//! judging — CI's first runs).
 
-use ditto_bench::{render_rows, write_json};
+use ditto_bench::{render_rows, write_json, HistoryRecord, RegressOptions};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +43,7 @@ fn main() {
         None => None,
     };
     let json = args.iter().any(|a| a == "--json");
+    let record_only = args.iter().any(|a| a == "--record-only");
     let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     let all = [
         "fig1", "fig2", "fig4", "fig5", "fig8a", "fig8b", "fig8c", "fig9a", "fig9b", "fig9c",
@@ -46,9 +56,9 @@ fn main() {
         wanted
     };
 
-    // `sched` consumes --trace-out itself (the bench.sched spans); don't
-    // overwrite its file with the fault exemplar afterwards.
-    let mut sched_traced = false;
+    // Targets that consume --trace-out themselves; don't overwrite their
+    // file with the fault exemplar afterwards.
+    let mut trace_consumed = false;
 
     for t in targets {
         println!("==================== {t} ====================");
@@ -102,7 +112,15 @@ fn main() {
             "ablations" => emit(&ditto_bench::all_ablations(), json),
             "multi" => emit(&ditto_bench::multi_job(), json),
             "deadline" => emit(&ditto_bench::deadline_sweep(), json),
-            "faults" => emit(&ditto_bench::fault_sweep(), json),
+            "faults" => {
+                let rows = ditto_bench::fault_sweep();
+                emit(&rows, json);
+                record_history(HistoryRecord::now(
+                    "faults",
+                    &faults_config(),
+                    faults_metrics(&rows),
+                ));
+            }
             // Scheduler throughput: incremental joint_optimize vs the
             // from-scratch reference. `sched` runs the full 16→1024-stage
             // sweep; `sched-smoke` the CI subset (16/64/256). Both write
@@ -123,12 +141,14 @@ fn main() {
                 emit(&rows, json);
                 std::fs::write("BENCH_sched.json", write_json(&rows)).expect("write BENCH_sched.json");
                 println!("wrote BENCH_sched.json ({} rows)", rows.len());
+                record_history(HistoryRecord::now(
+                    t,
+                    &format!("sizes={sizes:?}"),
+                    sched_metrics(&rows),
+                ));
                 if let Some(path) = &trace_out {
-                    let data = obs.finish();
-                    let chrome = ditto_obs::to_chrome_trace(&data);
-                    std::fs::write(path, &chrome).expect("write trace file");
-                    println!("wrote {path} ({} spans)", data.spans.len());
-                    sched_traced = true;
+                    write_trace(path, &obs.finish(), "bench.sched scheduler spans");
+                    trace_consumed = true;
                 }
             }
             // Adaptive-execution sweep: drift × loss × recovery policy,
@@ -144,17 +164,45 @@ fn main() {
                 emit(&rows, json);
                 std::fs::write("BENCH_adapt.json", write_json(&rows)).expect("write BENCH_adapt.json");
                 println!("wrote BENCH_adapt.json ({} rows)", rows.len());
+                record_history(HistoryRecord::now(t, &adapt_config(t), adapt_metrics(&rows)));
                 if rows.iter().any(|r| !r.audit_clean) {
                     eprintln!("adaptive sweep: a replan failed its feasibility certificate");
                     std::process::exit(1);
                 }
+                // The cross-run observability quick-start: trace the
+                // fixed-seed frozen-vs-adaptive pair under 2× drift,
+                // write the adaptive run's trace, and print the diff
+                // (who moved the JCT) + the predictor scorecard.
+                if let Some(path) = &trace_out {
+                    let (frozen, adaptive) = ditto_bench::traced_adapt_pair();
+                    write_trace(path, &adaptive, "adaptive 2x-drift exemplar");
+                    let diff = ditto_obs::diff_traces(&frozen, &adaptive);
+                    println!("{}", diff.render());
+                    println!("{}", ditto_obs::PredictorScorecard::from_trace(&adaptive).render());
+                    trace_consumed = true;
+                }
             }
-            "telemetry" => emit(&ditto_bench::telemetry_overhead(), json),
+            "telemetry" => {
+                let rows = ditto_bench::telemetry_overhead();
+                emit(&rows, json);
+                record_history(HistoryRecord::now(
+                    "telemetry",
+                    "exemplar-q95-s3",
+                    telemetry_metrics(&rows),
+                ));
+            }
             // Certificate sweep: audit every scheduler's output on 32
             // seeded random DAGs × both objectives. Exits nonzero if any
-            // schedule fails its certificate, so CI can gate on it.
+            // schedule fails its certificate, so CI can gate on it. With
+            // `--trace-out`, the joint optimizer's decision spans for the
+            // whole sweep land in the Chrome trace.
             "audit" => {
-                let rows = ditto_bench::audit_sweep(ditto_bench::AUDIT_SWEEP_SEEDS);
+                let obs = if trace_out.is_some() {
+                    ditto_obs::Recorder::new()
+                } else {
+                    ditto_obs::Recorder::disabled()
+                };
+                let rows = ditto_bench::audit_sweep_traced(ditto_bench::AUDIT_SWEEP_SEEDS, &obs);
                 emit(&rows, json);
                 let errors: usize = rows.iter().map(|r| r.errors).sum();
                 println!(
@@ -162,54 +210,73 @@ fn main() {
                     rows.len(),
                     errors
                 );
+                if let Some(path) = &trace_out {
+                    write_trace(path, &obs.finish(), "audit sweep scheduler spans");
+                    trace_consumed = true;
+                }
                 if !ditto_bench::sweep_is_clean(&rows) {
                     std::process::exit(1);
                 }
             }
-            "export" => {
-                // Artifacts: the Ditto-scheduled Q95 DAG as Graphviz DOT
-                // (groups colored) and its simulated trace as a Chrome
-                // Trace Event file, written next to the binary's cwd.
-                use ditto_core::{DittoScheduler, Objective};
-                let p = ditto_bench::prepare(
-                    ditto_sql::queries::Query::Q95,
-                    ditto_storage::Medium::S3,
-                );
-                let rm = ditto_bench::setup::default_testbed();
-                let schedule = p.schedule(&DittoScheduler::new(), &rm, Objective::Jct);
-                let dot =
-                    ditto_dag::export::to_dot_grouped(&p.plan.dag, &schedule.group_of, &schedule.dop);
-                std::fs::write("q95_schedule.dot", &dot).expect("write dot");
-                let (trace, m) = ditto_exec::simulate(&p.plan.dag, &schedule, &p.gt);
-                std::fs::write("q95_trace.json", trace.to_chrome_trace()).expect("write trace");
+            // Regression gate: replay the deterministic experiments and
+            // compare against BENCH_HISTORY.jsonl. `--record-only` seeds
+            // history without judging. Exits 1 on any regression.
+            "regress" => {
+                let opts = RegressOptions::default();
+                let path = ditto_bench::history_path();
+                let history = ditto_bench::load_history(&path);
                 println!(
-                    "wrote q95_schedule.dot ({} bytes) and q95_trace.json ({} events, JCT {:.1}s)",
-                    dot.len(),
-                    trace.tasks.len() * 4,
-                    m.jct
+                    "regress: {} history records in {}",
+                    history.len(),
+                    path.display()
                 );
-                println!("render: dot -Tsvg q95_schedule.dot -o q95.svg");
-                println!("view trace: load q95_trace.json in https://ui.perfetto.dev");
+                let frows = ditto_bench::fault_sweep();
+                let arows = ditto_bench::adapt_sweep_smoke();
+                let records = [
+                    HistoryRecord::now("faults", &faults_config(), faults_metrics(&frows)),
+                    HistoryRecord::now(
+                        "adapt-smoke",
+                        &adapt_config("adapt-smoke"),
+                        adapt_metrics(&arows),
+                    ),
+                ];
+                let mut failed = false;
+                for rec in records {
+                    if record_only {
+                        record_history(rec);
+                        continue;
+                    }
+                    let report = ditto_bench::check_regression(&history, &rec, &opts);
+                    print!("{}", report.render());
+                    if report.regressed() {
+                        failed = true;
+                    } else {
+                        // A passing run extends the history baseline.
+                        record_history(rec);
+                    }
+                }
+                if failed {
+                    eprintln!("regress: performance regression detected (see table above)");
+                    std::process::exit(1);
+                }
+                println!(
+                    "regress: {}",
+                    if record_only { "recorded baselines" } else { "clean" }
+                );
             }
             other => eprintln!(
-                "unknown target {other:?}; known: {all:?} (+ \"sched\", \"sched-smoke\", \"adapt\", \"adapt-smoke\" — not in `all`)"
+                "unknown target {other:?}; known: {all:?} (+ \"sched\", \"sched-smoke\", \"adapt\", \"adapt-smoke\", \"regress\" — not in `all`)"
             ),
         }
     }
 
-    if let Some(path) = trace_out.filter(|_| !sched_traced) {
+    if let Some(path) = trace_out.filter(|_| !trace_consumed) {
         println!("==================== trace-out ====================");
         let run = ditto_bench::traced_fault_run();
-        let chrome = ditto_obs::to_chrome_trace(&run.data);
-        std::fs::write(&path, &chrome).expect("write trace file");
-        println!(
-            "wrote {path} ({} bytes, {} spans, {} events) — load in https://ui.perfetto.dev",
-            chrome.len(),
-            run.data.spans.len(),
-            run.data.events.len(),
-        );
+        write_trace(&path, &run.data, "fixed-seed traced fault experiment");
         println!("{}", ditto_obs::summary_table(&run.data));
         println!("{}", run.critical_path.render());
+        println!("{}", ditto_obs::PredictorScorecard::from_trace(&run.data).render());
     }
 }
 
@@ -219,4 +286,106 @@ fn emit<T: serde::Serialize>(rows: &[T], json: bool) {
     } else {
         print!("{}", render_rows(rows));
     }
+}
+
+/// Write a finished trace as a Chrome trace_event file — the one place
+/// every `--trace-out` path goes through.
+fn write_trace(path: &str, data: &ditto_obs::TraceData, label: &str) {
+    let chrome = ditto_obs::to_chrome_trace(data);
+    std::fs::write(path, &chrome).expect("write trace file");
+    println!(
+        "wrote {path} ({} bytes, {} spans, {} events) [{label}] — load in https://ui.perfetto.dev",
+        chrome.len(),
+        data.spans.len(),
+        data.events.len(),
+    );
+}
+
+/// Append one record to the bench history, reporting rather than dying
+/// on IO trouble (history is telemetry, not a gate on the experiment).
+fn record_history(rec: HistoryRecord) {
+    let path = ditto_bench::history_path();
+    match ditto_bench::append_history(&path, &rec) {
+        Ok(()) => println!(
+            "history: appended `{}` ({} metrics) to {}",
+            rec.experiment,
+            rec.metrics.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("history: append to {} failed: {e}", path.display()),
+    }
+}
+
+fn faults_config() -> String {
+    format!(
+        "rates={:?} schedulers=[ditto,nimble] policies=[retry,retry+spec]",
+        ditto_bench::FAULT_SWEEP_RATES
+    )
+}
+
+fn faults_metrics(rows: &[ditto_bench::FaultSweepRow]) -> Vec<(String, f64)> {
+    rows.iter()
+        .map(|r| {
+            (
+                format!(
+                    "faults_{}_{}_r{:.2}_jct_s",
+                    r.scheduler, r.policy, r.fault_rate
+                ),
+                r.jct_seconds,
+            )
+        })
+        .collect()
+}
+
+fn adapt_config(t: &str) -> String {
+    if t == "adapt" {
+        format!(
+            "drifts={:?} losses={:?}",
+            ditto_bench::adapt::ADAPT_DRIFTS,
+            ditto_bench::adapt::ADAPT_LOSSES
+        )
+    } else {
+        format!(
+            "drifts={:?} losses={:?}",
+            ditto_bench::adapt::ADAPT_SMOKE_DRIFTS,
+            ditto_bench::adapt::ADAPT_SMOKE_LOSSES
+        )
+    }
+}
+
+fn adapt_metrics(rows: &[ditto_bench::AdaptSweepRow]) -> Vec<(String, f64)> {
+    rows.iter()
+        .map(|r| {
+            (
+                format!(
+                    "adapt_d{:.1}_l{:.2}_{}_{}_jct_s",
+                    r.drift, r.loss_rate, r.recovery, r.engine
+                ),
+                r.jct_seconds,
+            )
+        })
+        .collect()
+}
+
+fn sched_metrics(rows: &[ditto_bench::SchedBenchRow]) -> Vec<(String, f64)> {
+    rows.iter()
+        .filter(|r| r.implementation == "incremental")
+        .map(|r| {
+            (
+                format!("sched_{}_{}_micros", r.stages, r.objective),
+                r.median_micros,
+            )
+        })
+        .collect()
+}
+
+fn telemetry_metrics(rows: &[ditto_bench::TelemetryOverheadRow]) -> Vec<(String, f64)> {
+    let mut m: Vec<(String, f64)> = rows
+        .iter()
+        .map(|r| (format!("telemetry_{}_run_ms", r.mode), r.run_ms))
+        .collect();
+    if let Some(t) = rows.iter().find(|r| r.mode == "traced") {
+        m.push(("telemetry_overhead_pct".to_string(), t.overhead_pct));
+    }
+    m
 }

@@ -754,6 +754,9 @@ pub struct FaultSweepRow {
     pub wasted_gb_s: f64,
 }
 
+/// Per-task crash/straggler probabilities swept by [`fault_sweep`].
+pub const FAULT_SWEEP_RATES: [f64; 4] = [0.02, 0.05, 0.1, 0.2];
+
 /// Robustness sweep (extension beyond the paper): Q95 on the §6 testbed
 /// under seeded random crashes and 4× stragglers at increasing fault
 /// rates, Ditto vs NIMBLE schedules, bounded-retry vs retry+speculation
@@ -785,7 +788,7 @@ pub fn fault_sweep() -> Vec<FaultSweepRow> {
     for (s, name) in schedulers {
         let schedule = p.schedule(s, &rm, Objective::Jct);
         let (_, base) = simulate(&p.plan.dag, &schedule, &p.gt);
-        for rate in [0.02, 0.05, 0.1, 0.2] {
+        for rate in FAULT_SWEEP_RATES {
             for (policy_name, policy) in &policies {
                 let plan = FaultPlan::from_rates(FaultRates {
                     crash_prob: rate,

@@ -1,0 +1,525 @@
+//! Bench history: config-fingerprinted records + the regression gate.
+//!
+//! Every `figures -- sched|adapt|faults|telemetry` run appends one
+//! [`HistoryRecord`] per experiment to `BENCH_HISTORY.jsonl` (override
+//! with `DITTO_HISTORY_PATH`). Records are:
+//!
+//! * **config-fingerprinted** — an FNV-64 hash of the experiment name
+//!   plus its configuration description, so `figures -- regress` only
+//!   compares runs of the *same* experiment shape (changing the sweep
+//!   grid starts a fresh history rather than tripping the gate);
+//! * **machine-normalized** — each record carries a calibration number
+//!   ([`calibration_ms`]: a fixed arithmetic loop, best of 3) measured
+//!   on the machine that produced it; wall-clock metrics (names ending
+//!   `_ms` / `_us` / `_micros`) are divided by it before comparison, so
+//!   a history written on a fast CI box doesn't flag a laptop run.
+//!
+//! [`check_regression`] compares the current run's metrics against the
+//! last K matching records with noise-aware thresholds: a metric
+//! regresses when it exceeds `median + max(rel_tol × median,
+//! mad_mult × 1.4826 × MAD)` of its history. All metrics are
+//! lower-is-better (JCTs, wall times, overhead percentages). A
+//! min-run-count guard keeps the gate quiet until the history has
+//! enough samples to estimate noise.
+//!
+//! Testing hook: `DITTO_REGRESS_INJECT=<factor>` multiplies every
+//! current-run metric before the comparison — CI uses it to prove the
+//! gate fires on a synthetic 10% slowdown.
+
+use serde_json::{Map, Number, Value};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Default history file, at the repo root next to `BENCH_*.json`.
+pub const HISTORY_FILE: &str = "BENCH_HISTORY.jsonl";
+
+/// One benchmark run's record in the history stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRecord {
+    /// Experiment name (`sched`, `adapt`, `faults`, `telemetry`).
+    pub experiment: String,
+    /// FNV-64 hex fingerprint of (experiment, config description).
+    pub fingerprint: String,
+    /// Record time, seconds since the Unix epoch.
+    pub unix_seconds: u64,
+    /// Producing machine (`os/arch`, plus `HOSTNAME` when set).
+    pub host: String,
+    /// Machine-speed calibration: [`calibration_ms`] on the producer.
+    pub calib_ms: f64,
+    /// Named metric values, all lower-is-better.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// FNV-1a 64-bit, hex-encoded — stable across platforms and runs.
+pub fn fingerprint(experiment: &str, config_desc: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in experiment.bytes().chain([0u8]).chain(config_desc.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Calibrate this machine's scalar speed: a fixed integer-arithmetic
+/// loop, best (fastest) of 3, in milliseconds. Wall-clock metrics divide
+/// by this before cross-machine comparison.
+pub fn calibration_ms() -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = std::time::Instant::now();
+        let mut acc: u64 = 0x9e37_79b9;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            acc ^= acc >> 33;
+        }
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        // The accumulator must survive the optimizer or the loop is free.
+        if acc == 0 {
+            eprintln!("calibration accumulator hit zero");
+        }
+        best = best.min(elapsed);
+    }
+    best
+}
+
+impl HistoryRecord {
+    /// Build a record for the current machine and time.
+    pub fn now(experiment: &str, config_desc: &str, metrics: Vec<(String, f64)>) -> Self {
+        let unix_seconds = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let host = match std::env::var("HOSTNAME") {
+            Ok(h) if !h.is_empty() => {
+                format!("{}/{}/{h}", std::env::consts::OS, std::env::consts::ARCH)
+            }
+            _ => format!("{}/{}", std::env::consts::OS, std::env::consts::ARCH),
+        };
+        HistoryRecord {
+            experiment: experiment.to_string(),
+            fingerprint: fingerprint(experiment, config_desc),
+            unix_seconds,
+            host,
+            calib_ms: calibration_ms(),
+            metrics,
+        }
+    }
+
+    /// Serialize as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut m = Map::new();
+        m.insert(
+            "experiment".to_string(),
+            Value::String(self.experiment.clone()),
+        );
+        m.insert(
+            "fingerprint".to_string(),
+            Value::String(self.fingerprint.clone()),
+        );
+        m.insert(
+            "unix_seconds".to_string(),
+            Value::Number(Number::PosInt(self.unix_seconds)),
+        );
+        m.insert("host".to_string(), Value::String(self.host.clone()));
+        m.insert(
+            "calib_ms".to_string(),
+            Value::Number(Number::Float(self.calib_ms)),
+        );
+        let mut metrics = Map::new();
+        for (k, v) in &self.metrics {
+            metrics.insert(k.clone(), Value::Number(Number::Float(*v)));
+        }
+        m.insert("metrics".to_string(), Value::Object(metrics));
+        Value::Object(m).to_string()
+    }
+
+    /// Parse one JSONL line; `None` on any structural mismatch (corrupt
+    /// lines are skipped by [`load_history`], never fatal).
+    pub fn from_json_line(line: &str) -> Option<Self> {
+        let v: Value = serde_json::from_str(line).ok()?;
+        let obj = v.as_object()?;
+        let metrics_obj = obj.get("metrics")?.as_object()?;
+        let mut metrics = Vec::new();
+        for (k, mv) in metrics_obj.iter() {
+            metrics.push((k.clone(), mv.as_f64()?));
+        }
+        Some(HistoryRecord {
+            experiment: obj.get("experiment")?.as_str()?.to_string(),
+            fingerprint: obj.get("fingerprint")?.as_str()?.to_string(),
+            unix_seconds: obj.get("unix_seconds")?.as_u64()?,
+            host: obj.get("host")?.as_str()?.to_string(),
+            calib_ms: obj.get("calib_ms")?.as_f64()?,
+            metrics,
+        })
+    }
+
+    /// A metric value, normalized for cross-machine comparison: names
+    /// ending `_ms` / `_us` / `_micros` are wall-clock and divide by the
+    /// record's calibration; everything else (sim-time JCTs, ratios,
+    /// percentages) is machine-independent already.
+    fn normalized(&self, name: &str, value: f64) -> f64 {
+        if is_wall_metric(name) && self.calib_ms > 0.0 {
+            value / self.calib_ms
+        } else {
+            value
+        }
+    }
+}
+
+fn is_wall_metric(name: &str) -> bool {
+    name.ends_with("_ms") || name.ends_with("_us") || name.ends_with("_micros")
+}
+
+/// The history path: `DITTO_HISTORY_PATH` override or
+/// [`HISTORY_FILE`] in the current directory.
+pub fn history_path() -> PathBuf {
+    match std::env::var("DITTO_HISTORY_PATH") {
+        Ok(p) if !p.is_empty() => PathBuf::from(p),
+        _ => PathBuf::from(HISTORY_FILE),
+    }
+}
+
+/// Append one record to the history file (creating it if needed).
+pub fn append_history(path: &Path, record: &HistoryRecord) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{}", record.to_json_line())
+}
+
+/// Load every parseable record from the history file. A missing file is
+/// an empty history; corrupt lines are skipped.
+pub fn load_history(path: &Path) -> Vec<HistoryRecord> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(HistoryRecord::from_json_line)
+        .collect()
+}
+
+/// Regression-gate thresholds. See the [module docs](self).
+#[derive(Debug, Clone, Copy)]
+pub struct RegressOptions {
+    /// Compare against at most this many most-recent matching records.
+    pub last_k: usize,
+    /// Stay quiet (verdict `InsufficientHistory`) below this many runs.
+    pub min_runs: usize,
+    /// Relative tolerance floor: a metric must exceed the history median
+    /// by at least this fraction to regress.
+    pub rel_tol: f64,
+    /// Noise multiplier: … or by `mad_mult × 1.4826 × MAD`, whichever
+    /// band is wider.
+    pub mad_mult: f64,
+}
+
+impl Default for RegressOptions {
+    fn default() -> Self {
+        RegressOptions {
+            last_k: 8,
+            min_runs: 3,
+            rel_tol: 0.05,
+            mad_mult: 4.0,
+        }
+    }
+}
+
+/// One metric's comparison outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricVerdict {
+    /// Metric name.
+    pub name: String,
+    /// Current (normalized) value.
+    pub current: f64,
+    /// History median (normalized).
+    pub median: f64,
+    /// Allowed threshold (normalized): `median + band`.
+    pub threshold: f64,
+    /// History samples behind the median.
+    pub samples: usize,
+    /// The verdict.
+    pub status: MetricStatus,
+}
+
+/// Outcome of one metric's gate check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricStatus {
+    /// Within the noise band.
+    Ok,
+    /// Above `median + band`: regressed.
+    Regressed,
+    /// Fewer than `min_runs` history samples — not judged.
+    InsufficientHistory,
+    /// The metric has no history at all (new metric).
+    New,
+}
+
+/// Result of [`check_regression`] over one experiment's metrics.
+#[derive(Debug, Clone, Default)]
+pub struct RegressReport {
+    /// Experiment name.
+    pub experiment: String,
+    /// Per-metric verdicts, in the current run's metric order.
+    pub verdicts: Vec<MetricVerdict>,
+}
+
+impl RegressReport {
+    /// True when any metric regressed.
+    pub fn regressed(&self) -> bool {
+        self.verdicts
+            .iter()
+            .any(|v| v.status == MetricStatus::Regressed)
+    }
+
+    /// Human-readable gate table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "regression gate: {} ({} metrics)\n",
+            self.experiment,
+            self.verdicts.len()
+        ));
+        out.push_str(&format!(
+            "{:<44} {:>12} {:>12} {:>12} {:>4}  status\n",
+            "metric", "current", "median", "threshold", "n"
+        ));
+        for v in &self.verdicts {
+            let status = match v.status {
+                MetricStatus::Ok => "ok",
+                MetricStatus::Regressed => "REGRESSED",
+                MetricStatus::InsufficientHistory => "few-samples",
+                MetricStatus::New => "new",
+            };
+            out.push_str(&format!(
+                "{:<44} {:>12.6} {:>12.6} {:>12.6} {:>4}  {status}\n",
+                v.name, v.current, v.median, v.threshold, v.samples
+            ));
+        }
+        out
+    }
+}
+
+fn median_of(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Gate the current run against its history. `history` may hold records
+/// of any experiment/fingerprint — only records matching `current`'s
+/// fingerprint participate, and only the most recent `last_k` of those.
+/// The `DITTO_REGRESS_INJECT` multiplier (if set and parseable) scales
+/// the current run's metrics first.
+pub fn check_regression(
+    history: &[HistoryRecord],
+    current: &HistoryRecord,
+    opts: &RegressOptions,
+) -> RegressReport {
+    let inject: f64 = std::env::var("DITTO_REGRESS_INJECT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let matching: Vec<&HistoryRecord> = history
+        .iter()
+        .filter(|r| r.fingerprint == current.fingerprint)
+        .collect();
+    let recent = &matching[matching.len().saturating_sub(opts.last_k)..];
+
+    let mut verdicts = Vec::with_capacity(current.metrics.len());
+    for (name, raw) in &current.metrics {
+        let cur = current.normalized(name, raw * inject);
+        let mut values: Vec<f64> = recent
+            .iter()
+            .filter_map(|r| {
+                r.metrics
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| r.normalized(name, *v))
+            })
+            .collect();
+        values.sort_by(f64::total_cmp);
+        let samples = values.len();
+        let median = median_of(&values);
+        let mut deviations: Vec<f64> = values.iter().map(|v| (v - median).abs()).collect();
+        deviations.sort_by(f64::total_cmp);
+        let mad = median_of(&deviations);
+        let band = (opts.rel_tol * median.abs()).max(opts.mad_mult * 1.4826 * mad);
+        let threshold = median + band;
+        let status = if samples == 0 {
+            MetricStatus::New
+        } else if samples < opts.min_runs {
+            MetricStatus::InsufficientHistory
+        } else if cur > threshold {
+            MetricStatus::Regressed
+        } else {
+            MetricStatus::Ok
+        };
+        verdicts.push(MetricVerdict {
+            name: name.clone(),
+            current: cur,
+            median,
+            threshold,
+            samples,
+            status,
+        });
+    }
+    RegressReport {
+        experiment: current.experiment.clone(),
+        verdicts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(metrics: &[(&str, f64)]) -> HistoryRecord {
+        HistoryRecord {
+            experiment: "test".to_string(),
+            fingerprint: fingerprint("test", "grid-v1"),
+            unix_seconds: 1,
+            host: "test/x".to_string(),
+            calib_ms: 1.0,
+            metrics: metrics
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_json_line() {
+        let r = HistoryRecord::now("sched", "sizes=[64,128]", vec![("a_ms".into(), 1.5)]);
+        let back = HistoryRecord::from_json_line(&r.to_json_line()).unwrap();
+        assert_eq!(r, back);
+        assert!(HistoryRecord::from_json_line("not json").is_none());
+        assert!(HistoryRecord::from_json_line("{}").is_none());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_config_sensitive() {
+        assert_eq!(fingerprint("a", "b"), fingerprint("a", "b"));
+        assert_ne!(fingerprint("a", "b"), fingerprint("a", "c"));
+        assert_ne!(fingerprint("a", "b"), fingerprint("ab", ""));
+        assert_eq!(fingerprint("a", "b").len(), 16);
+    }
+
+    #[test]
+    fn gate_fires_on_ten_percent_slowdown_and_passes_clean() {
+        let history = vec![
+            record(&[("jct_s", 10.0)]),
+            record(&[("jct_s", 10.0)]),
+            record(&[("jct_s", 10.0)]),
+        ];
+        let opts = RegressOptions::default();
+        // Deterministic history: MAD = 0, the 5% rel_tol floor rules.
+        let clean = check_regression(&history, &record(&[("jct_s", 10.0)]), &opts);
+        assert!(!clean.regressed(), "{}", clean.render());
+        let slow = check_regression(&history, &record(&[("jct_s", 11.0)]), &opts);
+        assert!(slow.regressed(), "{}", slow.render());
+        assert!(slow.render().contains("REGRESSED"));
+        // Just inside the band.
+        let edge = check_regression(&history, &record(&[("jct_s", 10.4)]), &opts);
+        assert!(!edge.regressed());
+    }
+
+    #[test]
+    fn min_run_guard_and_new_metrics_stay_quiet() {
+        let history = vec![record(&[("jct_s", 10.0)])];
+        let opts = RegressOptions::default();
+        let rep = check_regression(&history, &record(&[("jct_s", 50.0), ("other", 1.0)]), &opts);
+        assert!(!rep.regressed(), "{}", rep.render());
+        assert_eq!(rep.verdicts[0].status, MetricStatus::InsufficientHistory);
+        assert_eq!(rep.verdicts[1].status, MetricStatus::New);
+    }
+
+    #[test]
+    fn noisy_history_widens_the_band() {
+        // Median 10, MAD ≈ 1: the band is 4 × 1.4826 ≈ 5.9 wide, so 13
+        // (which the 5% floor alone would flag) passes.
+        let history = vec![
+            record(&[("jct_s", 9.0)]),
+            record(&[("jct_s", 10.0)]),
+            record(&[("jct_s", 11.0)]),
+            record(&[("jct_s", 8.5)]),
+            record(&[("jct_s", 11.5)]),
+        ];
+        let rep = check_regression(
+            &history,
+            &record(&[("jct_s", 13.0)]),
+            &RegressOptions::default(),
+        );
+        assert!(!rep.regressed(), "{}", rep.render());
+    }
+
+    #[test]
+    fn wall_metrics_normalize_by_calibration() {
+        // History from a machine 2× slower (calib 2.0) with 20ms runs is
+        // equivalent to 10ms on a calib-1.0 machine — a 10.2ms current
+        // run on the fast machine must pass.
+        let mut slow_machine = record(&[("wall_ms", 20.0)]);
+        slow_machine.calib_ms = 2.0;
+        let history = vec![slow_machine.clone(), slow_machine.clone(), slow_machine];
+        let rep = check_regression(
+            &history,
+            &record(&[("wall_ms", 10.2)]),
+            &RegressOptions::default(),
+        );
+        assert!(!rep.regressed(), "{}", rep.render());
+        // But a genuinely 2× slower result still fails.
+        let rep = check_regression(
+            &history,
+            &record(&[("wall_ms", 20.0)]),
+            &RegressOptions::default(),
+        );
+        assert!(rep.regressed());
+    }
+
+    #[test]
+    fn only_matching_fingerprints_participate() {
+        let mut other = record(&[("jct_s", 1.0)]);
+        other.fingerprint = fingerprint("test", "grid-v2");
+        let history = vec![other.clone(), other.clone(), other];
+        let rep = check_regression(
+            &history,
+            &record(&[("jct_s", 99.0)]),
+            &RegressOptions::default(),
+        );
+        assert_eq!(rep.verdicts[0].status, MetricStatus::New);
+        assert!(!rep.regressed());
+    }
+
+    #[test]
+    fn append_and_load_skip_corrupt_lines() {
+        let dir = std::env::temp_dir().join(format!("ditto_hist_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.jsonl");
+        let _ = std::fs::remove_file(&path);
+        assert!(load_history(&path).is_empty(), "missing file = empty");
+        let r = record(&[("jct_s", 10.0)]);
+        append_history(&path, &r).unwrap();
+        {
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            writeln!(f, "corrupt {{line").unwrap();
+        }
+        append_history(&path, &r).unwrap();
+        let loaded = load_history(&path);
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0], r);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn calibration_is_positive_and_finite() {
+        let c = calibration_ms();
+        assert!(c.is_finite() && c > 0.0, "calibration {c}");
+    }
+}

@@ -21,14 +21,21 @@ pub mod ablations;
 pub mod adapt;
 pub mod audit_sweep;
 pub mod experiments;
+pub mod history;
 pub mod report;
 pub mod sched_bench;
 pub mod setup;
 pub mod telemetry;
 
 pub use ablations::all_ablations;
-pub use adapt::{adapt_sweep, adapt_sweep_grid, adapt_sweep_smoke, AdaptSweepRow};
-pub use audit_sweep::{audit_sweep, sweep_is_clean, AuditSweepRow, AUDIT_SWEEP_SEEDS};
+pub use adapt::{adapt_sweep, adapt_sweep_grid, adapt_sweep_smoke, traced_adapt_pair, AdaptSweepRow};
+pub use audit_sweep::{
+    audit_sweep, audit_sweep_traced, sweep_is_clean, AuditSweepRow, AUDIT_SWEEP_SEEDS,
+};
+pub use history::{
+    append_history, check_regression, history_path, load_history, HistoryRecord, MetricStatus,
+    MetricVerdict, RegressOptions, RegressReport,
+};
 pub use experiments::*;
 pub use report::{render_rows, write_json};
 pub use sched_bench::{sched_bench, sched_bench_sizes, sched_bench_smoke, SchedBenchRow};

@@ -1,0 +1,83 @@
+//! Acceptance gates for cross-run observability (ISSUE pr7):
+//!
+//! * two runs of the *same* fixed-seed experiment diff to zero — the
+//!   differential analyzer invents no phantom deltas;
+//! * frozen vs adaptive under 2× compute drift attributes ≥ 90% of the
+//!   JCT delta to `(stage, step)` buckets — the diff explains where the
+//!   adaptive engine won, not just that it won;
+//! * the adaptive exemplar's telemetry validates against the Chrome
+//!   trace schema with all the new event kinds present.
+
+use ditto_obs::{diff_traces, to_chrome_trace, validate_chrome_trace, PredictorScorecard};
+
+#[test]
+fn identical_fixed_seed_runs_diff_to_zero() {
+    let a = ditto_bench::traced_fault_run();
+    let b = ditto_bench::traced_fault_run();
+    let d = diff_traces(&a.data, &b.data);
+    assert!(
+        d.is_zero(1e-9),
+        "identical fixed-seed runs must diff to zero:\n{}",
+        d.render()
+    );
+}
+
+#[test]
+fn adapt_pair_diff_attributes_ninety_percent_to_steps() {
+    let (frozen, adaptive) = ditto_bench::traced_adapt_pair();
+    let d = diff_traces(&frozen, &adaptive);
+    let delta = d.delta();
+    assert!(
+        delta.abs() > 1e-6,
+        "frozen and adaptive runs under 2x drift must differ in JCT"
+    );
+    // Everything attributed sums to the delta by construction...
+    assert!(
+        (d.attributed() - delta).abs() <= 1e-6,
+        "attributed {} vs delta {}:\n{}",
+        d.attributed(),
+        delta,
+        d.render()
+    );
+    // ...and at least 90% of the magnitude lands on (stage, step)
+    // buckets rather than waits (acceptance: the diff names the work
+    // that moved, not just scheduling gaps).
+    let step_share = d.step_attributed() / delta;
+    assert!(
+        step_share >= 0.9,
+        "only {:.1}% of the JCT delta lands on step buckets:\n{}",
+        100.0 * step_share,
+        d.render()
+    );
+    // The structural story is visible: the adaptive run replanned.
+    assert!(
+        d.structural_b.replans > d.structural_a.replans,
+        "adaptive trace must record replans (a={:?}, b={:?})",
+        d.structural_a,
+        d.structural_b
+    );
+}
+
+#[test]
+fn adaptive_trace_exports_schema_valid_with_new_event_kinds() {
+    let (_, adaptive) = ditto_bench::traced_adapt_pair();
+    let chrome = to_chrome_trace(&adaptive);
+    let stats = validate_chrome_trace(&chrome).expect("schema-valid adaptive trace");
+    assert!(stats.durations > 0);
+    assert!(
+        stats.names.contains_key("sched.replan"),
+        "replan events missing from export: {:?}",
+        stats.names.keys().collect::<Vec<_>>()
+    );
+    assert!(
+        stats.names.contains_key("predictor.sample"),
+        "predictor samples missing from export"
+    );
+    // The scorecard reads those samples back out of the same trace.
+    let card = PredictorScorecard::from_trace(&adaptive);
+    assert!(
+        !card.samples.is_empty(),
+        "scorecard must find predictor samples in the adaptive trace"
+    );
+    assert!(card.render().contains("predictor scorecard"));
+}

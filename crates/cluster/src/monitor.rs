@@ -204,6 +204,31 @@ pub struct DriftEvent {
     pub samples: u32,
 }
 
+impl DriftEvent {
+    /// Record this detection as a `drift.detected` instant on `obs` at
+    /// trace time `ts` (scheduler track). The scorecard in `ditto-obs`
+    /// reads these marks to annotate post-drift predictor samples, and
+    /// the trace-diff engine counts them as structural context.
+    pub fn record(&self, obs: &ditto_obs::Recorder, ts: f64) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.event(
+            "drift.detected",
+            ditto_obs::Track::scheduler(1),
+            ts,
+            vec![
+                ("stage", self.stage.into()),
+                ("factor", self.factor.into()),
+                ("samples", (self.samples as u64).into()),
+                ("factor_read", self.step_factors.read.into()),
+                ("factor_compute", self.step_factors.compute.into()),
+                ("factor_write", self.step_factors.write.into()),
+            ],
+        );
+    }
+}
+
 /// Per-step EWMA state for one scope (a stage, or the whole job).
 #[derive(Debug, Clone, Copy)]
 struct EwmaState {

@@ -191,6 +191,10 @@ pub fn try_simulate_adaptive_traced(
         let new_reexecs = state.stats.lineage_reexecs - reexecs_seen;
         reexecs_seen = state.stats.lineage_reexecs;
         let Some(ev) = event else { continue };
+        // Every band exceedance is recorded — including ones the budget
+        // or re-arm gates below swallow — so the scorecard can annotate
+        // post-drift predictor samples even when no replan fired.
+        ev.record(obs, state.stage_end[s.index()]);
         // Gates: replan budget, and re-arm (a constant drift level must
         // not re-trigger a replan after every stage).
         if replans.len() >= cfg.max_replans as usize {
@@ -373,6 +377,11 @@ pub fn try_simulate_adaptive_traced(
                     ("old_predicted_jct", old_predicted_jct.into()),
                     ("new_predicted_jct", new_predicted_jct.into()),
                     ("applied", if applied { 1u64 } else { 0u64 }.into()),
+                    ("risk_penalty", risk_penalty.into()),
+                    ("audit_clean", if audit_clean { 1u64 } else { 0u64 }.into()),
+                    ("corr_read", corrections.global.read.into()),
+                    ("corr_compute", corrections.global.compute.into()),
+                    ("corr_write", corrections.global.write.into()),
                 ],
             );
         }

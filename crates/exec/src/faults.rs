@@ -656,7 +656,7 @@ pub fn try_simulate_with_faults_traced(
     let replanned = joint_optimize_traced(dag, ctx.model, &rm, ctx.objective, &ctx.options, obs);
     if obs.is_enabled() {
         obs.event(
-            "sched.replan",
+            "sched.failover",
             Track::scheduler(0),
             obs.wall_now(),
             vec![
@@ -1198,12 +1198,50 @@ pub(crate) fn sim_stage(
         }
         state.stage_end[s.index()] = end;
         if obs.is_enabled() {
+            // Most-external in-edge medium: where this stage's reads
+            // actually came from (diff buckets carry it as the medium).
+            let read_medium = dag
+                .in_edges(s)
+                .map(|e| {
+                    state.edge_medium[e.id.index()]
+                        .unwrap_or_else(|| gt.edge_medium(schedule, e.id.index()))
+                })
+                .max_by_key(|m| match m {
+                    Medium::SharedMemory => 0,
+                    Medium::Redis => 1,
+                    Medium::S3 => 2,
+                })
+                .map_or("none", medium_label);
             obs.span(
                 "stage",
                 Track::job(s.0),
                 state.stage_launch[s.index()],
                 end,
-                vec![("stage", s.0.into()), ("dop", (d as u64).into())],
+                vec![
+                    ("stage", s.0.into()),
+                    ("dop", (d as u64).into()),
+                    ("read_medium", read_medium.into()),
+                ],
+            );
+            // Predicted-vs-observed per-task mean step durations: the
+            // scorecard's Fig.-11 sample for this stage.
+            let pred = state.stage_clean[s.index()];
+            let realized = state.stage_observed[s.index()];
+            obs.event(
+                "predictor.sample",
+                Track::job(s.0),
+                end,
+                vec![
+                    ("stage", s.0.into()),
+                    ("pred_setup", pred.setup.into()),
+                    ("pred_read", pred.read.into()),
+                    ("pred_compute", pred.compute.into()),
+                    ("pred_write", pred.write.into()),
+                    ("obs_setup", realized.setup.into()),
+                    ("obs_read", realized.read.into()),
+                    ("obs_compute", realized.compute.into()),
+                    ("obs_write", realized.write.into()),
+                ],
             );
         }
         state.stage_write_start[s.index()] = if wstart.is_finite() { wstart } else { end };

@@ -207,21 +207,27 @@ impl ExecutionTrace {
     /// `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)): one
     /// duration event per step of every task, with the server as the
     /// process and the task as the thread — the interactive version of
-    /// the paper's Fig. 15.
+    /// the paper's Fig. 15. Attempt history renders as `attempt` spans
+    /// with `fault.*` instants at each failed attempt's end, and every
+    /// [`ReplanRecord`] appears as a `sched.replan` instant on the
+    /// scheduler pseudo-process carrying the full decision record
+    /// (trigger, corrections, predicted JCTs, risk penalty, certificate
+    /// verdict) — replans no longer live only on the in-memory trace.
     pub fn to_chrome_trace(&self) -> String {
-        #[derive(serde::Serialize)]
-        struct Event<'a> {
-            name: &'a str,
-            cat: &'a str,
-            ph: &'a str,
-            /// Microseconds.
-            ts: u64,
-            dur: u64,
-            pid: u32,
-            tid: u32,
-        }
+        use serde_json::{Map, Number, Value};
+        /// Scheduler pseudo-process id, clear of real server ids.
+        const SCHED_PID: u64 = 1_000_000;
         let us = |secs: f64| (secs * 1e6).round() as u64;
-        let mut events = Vec::with_capacity(self.tasks.len() * 4);
+        let uint = |v: u64| Value::Number(Number::PosInt(v));
+        let num = |v: f64| Value::Number(Number::Float(v));
+        let mut events: Vec<Value> = Vec::with_capacity(self.tasks.len() * 4);
+        let mut push = |fields: Vec<(&str, Value)>| {
+            let mut m = Map::new();
+            for (k, v) in fields {
+                m.insert(k.to_string(), v);
+            }
+            events.push(Value::Object(m));
+        };
         for t in &self.tasks {
             let tid = t.stage * 10_000 + t.task;
             let steps = t.steps();
@@ -234,18 +240,92 @@ impl ExecutionTrace {
                 if dur <= 0.0 {
                     continue;
                 }
-                events.push(Event {
-                    name,
-                    cat: "task",
-                    ph: "X",
-                    ts: us(start),
-                    dur: us(dur),
-                    pid: t.server.0,
-                    tid,
-                });
+                push(vec![
+                    ("name", Value::String(name.to_string())),
+                    ("cat", Value::String("task".to_string())),
+                    ("ph", Value::String("X".to_string())),
+                    ("ts", uint(us(start))),
+                    ("dur", uint(us(dur))),
+                    ("pid", uint(t.server.0 as u64)),
+                    ("tid", uint(tid as u64)),
+                ]);
             }
         }
-        serde_json::to_string(&events).expect("events serialize")
+        for a in &self.attempts {
+            let tid = a.stage * 10_000 + a.task;
+            let mut args = Map::new();
+            args.insert("stage".to_string(), uint(a.stage as u64));
+            args.insert("task".to_string(), uint(a.task as u64));
+            args.insert("attempt".to_string(), uint(a.attempt as u64));
+            args.insert("wasted_gb_s".to_string(), num(a.wasted_gb_s));
+            push(vec![
+                ("name", Value::String("attempt".to_string())),
+                ("cat", Value::String("fault".to_string())),
+                ("ph", Value::String("X".to_string())),
+                ("ts", uint(us(a.start))),
+                ("dur", uint(us(a.end - a.start))),
+                ("pid", uint(a.server.0 as u64)),
+                ("tid", uint(tid as u64)),
+                ("args", Value::Object(args)),
+            ]);
+            if a.outcome != AttemptOutcome::Completed {
+                let name = match a.outcome {
+                    AttemptOutcome::Crashed => "fault.crashed",
+                    AttemptOutcome::ServerLost => "fault.server_lost",
+                    AttemptOutcome::Superseded => "fault.superseded",
+                    AttemptOutcome::Completed => unreachable!(),
+                };
+                let mut args = Map::new();
+                args.insert("stage".to_string(), uint(a.stage as u64));
+                args.insert("task".to_string(), uint(a.task as u64));
+                args.insert("attempt".to_string(), uint(a.attempt as u64));
+                push(vec![
+                    ("name", Value::String(name.to_string())),
+                    ("cat", Value::String("fault".to_string())),
+                    ("ph", Value::String("i".to_string())),
+                    ("s", Value::String("t".to_string())),
+                    ("ts", uint(us(a.end))),
+                    ("pid", uint(a.server.0 as u64)),
+                    ("tid", uint(tid as u64)),
+                    ("args", Value::Object(args)),
+                ]);
+            }
+        }
+        for r in &self.replans {
+            let mut args = Map::new();
+            args.insert(
+                "trigger".to_string(),
+                Value::String(
+                    match r.trigger {
+                        crate::adaptive::ReplanTrigger::Drift => "drift",
+                        crate::adaptive::ReplanTrigger::ObjectRecovery => "object-recovery",
+                    }
+                    .to_string(),
+                ),
+            );
+            args.insert("at_stage".to_string(), uint(r.at_stage as u64));
+            args.insert("factor".to_string(), num(r.factor));
+            args.insert("suffix_stages".to_string(), uint(r.suffix_stages as u64));
+            args.insert("old_predicted_jct".to_string(), num(r.old_predicted_jct));
+            args.insert("new_predicted_jct".to_string(), num(r.new_predicted_jct));
+            args.insert("applied".to_string(), uint(r.applied as u64));
+            args.insert("risk_penalty".to_string(), num(r.risk_penalty));
+            args.insert("audit_clean".to_string(), uint(r.audit_clean as u64));
+            args.insert("corr_read".to_string(), num(r.corrections.read));
+            args.insert("corr_compute".to_string(), num(r.corrections.compute));
+            args.insert("corr_write".to_string(), num(r.corrections.write));
+            push(vec![
+                ("name", Value::String("sched.replan".to_string())),
+                ("cat", Value::String("sched".to_string())),
+                ("ph", Value::String("i".to_string())),
+                ("s", Value::String("g".to_string())),
+                ("ts", uint(us(r.sim_time))),
+                ("pid", uint(SCHED_PID)),
+                ("tid", uint(0)),
+                ("args", Value::Object(args)),
+            ]);
+        }
+        Value::Array(events).to_string()
     }
 
     /// Render an ASCII Gantt of stages over time (Fig. 15's shape), with

@@ -1,0 +1,227 @@
+//! Flamegraph export: inferno-compatible collapsed-stack lines.
+//!
+//! [`to_folded`] renders a finished trace as the `folded` format that
+//! `flamegraph.pl` / `inferno-flamegraph` consume: one
+//! `frame;frame;leaf <value>` line per unique stack, values in integer
+//! microseconds of *self time* (a span's duration minus its children's).
+//! Stacks root at the span's track group (scheduler, storage, job,
+//! `server_N`), then follow the recorded parent chain, so scheduler
+//! rounds nest under the scheduler root and tasks sit in their server's
+//! subtree. Task spans carrying the `read_start` / `compute_start` /
+//! `write_start` phase attributes expand into `setup` / `read` /
+//! `compute` / `write` leaf frames — the flamegraph shows the same
+//! step-level attribution as the critical-path analyzer, just across
+//! *all* lanes instead of only the critical chain.
+//!
+//! Output is deterministic: identical stacks aggregate, lines sort
+//! lexicographically, zero-valued and still-open spans are skipped.
+
+use crate::span::{SpanRecord, Track, TraceData};
+
+/// Round a span duration (seconds) to integer microseconds.
+fn us(seconds: f64) -> u64 {
+    if seconds <= 0.0 {
+        0
+    } else {
+        (seconds * 1e6).round() as u64
+    }
+}
+
+/// Frame names may not contain the folded format's separators.
+fn sanitize(name: &str) -> String {
+    name.replace(';', ":").replace(' ', "_")
+}
+
+/// Root frame of a track group: the recorded track name when present,
+/// otherwise a stable default per group id.
+fn group_frame(data: &TraceData, group: u32) -> String {
+    if let Some(name) = data.track_names.get(&group) {
+        return sanitize(name);
+    }
+    match group {
+        Track::SCHEDULER_GROUP => "scheduler".to_string(),
+        Track::STORAGE_GROUP => "storage".to_string(),
+        Track::JOB_GROUP => "job".to_string(),
+        g if g >= Track::SERVER_BASE => format!("server_{}", g - Track::SERVER_BASE),
+        g => format!("track_{g}"),
+    }
+}
+
+/// Step boundaries of a task span (same fallback as the critical-path
+/// analyzer: all-compute when phase attrs are absent or inconsistent).
+fn step_bounds(span: &SpanRecord) -> [f64; 5] {
+    if let (Some(r), Some(c), Some(w)) = (
+        span.attr_f64("read_start"),
+        span.attr_f64("compute_start"),
+        span.attr_f64("write_start"),
+    ) {
+        let b = [span.start, r, c, w, span.end];
+        if b.windows(2).all(|p| p[1] >= p[0]) {
+            return b;
+        }
+    }
+    [span.start, span.start, span.start, span.end, span.end]
+}
+
+/// Render a finished trace as collapsed-stack (folded) lines. Pipe the
+/// result through `flamegraph.pl` or `inferno-flamegraph` to get an
+/// interactive SVG of where the run's seconds went.
+pub fn to_folded(data: &TraceData) -> String {
+    // children[i] = indices of spans whose parent is span id i+1.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); data.spans.len()];
+    for (idx, s) in data.spans.iter().enumerate() {
+        if s.parent != 0 {
+            if let Some(slot) = children.get_mut(s.parent as usize - 1) {
+                slot.push(idx);
+            }
+        }
+    }
+
+    // Stack prefix per span, built in id order (parents precede children
+    // in the recorder, but don't rely on it — resolve lazily).
+    let mut stacks: Vec<Option<String>> = vec![None; data.spans.len()];
+    fn stack_of(data: &TraceData, stacks: &mut Vec<Option<String>>, idx: usize) -> String {
+        if let Some(s) = &stacks[idx] {
+            return s.clone();
+        }
+        let span = &data.spans[idx];
+        let own = sanitize(span.name);
+        let stack = if span.parent == 0 || span.parent as usize > data.spans.len() {
+            format!("{};{}", group_frame(data, span.track.group), own)
+        } else {
+            let parent = stack_of(data, stacks, span.parent as usize - 1);
+            format!("{parent};{own}")
+        };
+        stacks[idx] = Some(stack.clone());
+        stack
+    }
+
+    let mut totals: std::collections::BTreeMap<String, u64> = Default::default();
+    for (idx, span) in data.spans.iter().enumerate() {
+        if !span.end.is_finite() {
+            continue;
+        }
+        let stack = stack_of(data, &mut stacks, idx);
+        let child_time: f64 = children[idx]
+            .iter()
+            .map(|&c| data.spans[c].duration())
+            .sum();
+        if span.name == "task" {
+            // Expand the task's own time into its step leaves; child
+            // spans (if any) still subtract from the last overlapping
+            // step so totals never double-count.
+            let b = step_bounds(span);
+            let mut segs = [
+                b[1] - b[0], // setup
+                b[2] - b[1], // read
+                b[3] - b[2], // compute
+                b[4] - b[3], // write
+            ];
+            let mut remaining = child_time;
+            for seg in segs.iter_mut().rev() {
+                let take = remaining.min(*seg);
+                *seg -= take;
+                remaining -= take;
+            }
+            for (name, seg) in ["setup", "read", "compute", "write"].iter().zip(segs) {
+                let v = us(seg);
+                if v > 0 {
+                    *totals.entry(format!("{stack};{name}")).or_insert(0) += v;
+                }
+            }
+        } else {
+            let v = us(span.duration() - child_time);
+            if v > 0 {
+                *totals.entry(stack).or_insert(0) += v;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for (stack, v) in &totals {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Recorder, SpanId, Track};
+
+    #[test]
+    fn task_spans_expand_into_step_leaves() {
+        let rec = Recorder::new();
+        rec.name_track(Track::SERVER_BASE, "server 0");
+        rec.span(
+            "task",
+            Track::server(0, 0),
+            0.0,
+            4.0,
+            vec![
+                ("stage", 0u32.into()),
+                ("read_start", 0.5f64.into()),
+                ("compute_start", 1.5f64.into()),
+                ("write_start", 3.5f64.into()),
+            ],
+        );
+        let folded = to_folded(&rec.finish());
+        assert_eq!(
+            folded,
+            "server_0;task;compute 2000000\n\
+             server_0;task;read 1000000\n\
+             server_0;task;setup 500000\n\
+             server_0;task;write 500000\n"
+        );
+    }
+
+    #[test]
+    fn nesting_and_self_time() {
+        let rec = Recorder::new();
+        let root = rec.span("sched.joint", Track::scheduler(0), 0.0, 10.0, vec![]);
+        rec.span_with_parent("sched.round", Track::scheduler(0), 1.0, 4.0, root, vec![]);
+        rec.span_with_parent("sched.round", Track::scheduler(0), 4.0, 6.0, root, vec![]);
+        let folded = to_folded(&rec.finish());
+        // Root keeps 10 - 3 - 2 = 5s of self time; rounds aggregate.
+        assert!(folded.contains("scheduler;sched.joint 5000000\n"));
+        assert!(folded.contains("scheduler;sched.joint;sched.round 5000000\n"));
+    }
+
+    #[test]
+    fn open_and_zero_spans_are_skipped() {
+        let rec = Recorder::new();
+        rec.begin("sched.joint", Track::scheduler(0), 0.0, SpanId::NONE, vec![]);
+        rec.span("sched.round", Track::scheduler(0), 1.0, 1.0, vec![]);
+        assert_eq!(to_folded(&rec.finish()), "");
+    }
+
+    #[test]
+    fn frame_names_are_sanitized() {
+        let rec = Recorder::new();
+        rec.name_track(Track::SERVER_BASE + 3, "server 3; big");
+        rec.span("task", Track::server(3, 0), 0.0, 1.0, vec![]);
+        let folded = to_folded(&rec.finish());
+        assert!(folded.starts_with("server_3:_big;task;"), "{folded}");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let build = || {
+            let rec = Recorder::new();
+            for i in 0..5u32 {
+                rec.span(
+                    "task",
+                    Track::server(i % 2, i),
+                    i as f64,
+                    i as f64 + 1.0,
+                    vec![("stage", i.into())],
+                );
+            }
+            to_folded(&rec.finish())
+        };
+        assert_eq!(build(), build());
+    }
+}

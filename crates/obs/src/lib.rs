@@ -21,24 +21,41 @@
 //!   to scheduling gaps — the paper's Fig. 14 breakdown regenerated from
 //!   the event stream instead of bespoke code.
 //! * [`schema`] — a pure-Rust structural validator for the emitted Chrome
-//!   trace (no network, no external schema engine) used by CI.
+//!   trace (no network, no external schema engine) used by CI; knows the
+//!   required attributes of the stack's own event kinds (`sched.replan`,
+//!   `fault.*`, `recovery.lineage_reexec`, `drift.detected`, …).
 //! * [`timings`] — the shared [`StepTimings`] (setup/read/compute/write)
 //!   shape used by execution traces and the cluster runtime monitor.
+//! * [`diff`] — cross-run differential analysis: align two traces of the
+//!   same DAG and attribute the JCT delta to (stage, step, medium)
+//!   buckets, classified as shared-path slowdown / path shift /
+//!   structural (replans, faults, lineage recovery).
+//! * [`folded`] — inferno-compatible collapsed-stack export, one
+//!   `flamegraph.pl` invocation away from an SVG of where the run went.
+//! * [`scorecard`] — a standing Fig.-11-style predictor-accuracy report
+//!   (error CDF, per-step bias, drift annotations) built from
+//!   `predictor.sample` and `drift.detected` events.
 //!
 //! Span names are namespaced by layer: `sched.*` (scheduler decisions),
 //! `exec.*`/`task`/`attempt`/`stage` (executor), `storage.*` (data plane).
 
 pub mod chrome;
 pub mod critical_path;
+pub mod diff;
+pub mod folded;
 pub mod jsonl;
 pub mod metrics;
 pub mod schema;
+pub mod scorecard;
 pub mod span;
 pub mod timings;
 
 pub use chrome::to_chrome_trace;
 pub use critical_path::{critical_path, CriticalPathReport, StageAttribution};
+pub use diff::{diff_traces, DeltaKind, StageDelta, StructuralSummary, TraceDiff};
+pub use folded::to_folded;
 pub use jsonl::{summary_table, to_jsonl};
+pub use scorecard::{DriftMark, PredictorSample, PredictorScorecard};
 pub use metrics::{LogHistogram, MetricKind, MetricSnapshot, MetricsRegistry};
 pub use schema::{validate_chrome_trace, ChromeTraceStats};
 pub use span::{

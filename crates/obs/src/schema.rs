@@ -6,6 +6,12 @@
 //! type checks, and non-negative timestamps. Returns summary
 //! [`ChromeTraceStats`] so tests can assert on content (e.g. "the trace
 //! contains scheduler merge events and per-attempt task spans").
+//!
+//! Beyond the generic `trace_event` shape, the validator knows the
+//! stack's own event vocabulary: instant events named below must carry
+//! their required `args` keys, so a refactor that drops (say) the
+//! `risk_penalty` attribute off `sched.replan` fails CI instead of
+//! silently degrading the diff/scorecard toolchain downstream.
 
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -44,6 +50,40 @@ impl ChromeTraceStats {
             .filter(|(n, _)| n.starts_with(prefix))
             .map(|(_, c)| c)
             .sum()
+    }
+}
+
+/// Required `args` keys per known instant-event kind. Events not listed
+/// here are only held to the generic `trace_event` shape.
+fn required_args(name: &str) -> Option<&'static [&'static str]> {
+    match name {
+        "sched.replan" => Some(&[
+            "trigger",
+            "at_stage",
+            "factor",
+            "suffix_stages",
+            "old_predicted_jct",
+            "new_predicted_jct",
+            "applied",
+            "risk_penalty",
+            "audit_clean",
+        ]),
+        "sched.failover" => Some(&["failed_server", "at_time", "suffix_stages"]),
+        "fault.object_lost" | "fault.object_corrupt" => Some(&["stage", "task", "reader_stage"]),
+        "recovery.lineage_reexec" => Some(&["stage", "task", "reexec_s"]),
+        "drift.detected" => Some(&["stage", "factor", "samples"]),
+        "predictor.sample" => Some(&[
+            "stage",
+            "pred_setup",
+            "pred_read",
+            "pred_compute",
+            "pred_write",
+            "obs_setup",
+            "obs_read",
+            "obs_compute",
+            "obs_write",
+        ]),
+        _ => None,
     }
 }
 
@@ -95,6 +135,19 @@ pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceStats, String> {
             }
             "i" => {
                 require_str(ev, "s", idx)?;
+                if let Some(keys) = required_args(name) {
+                    let args = ev
+                        .get("args")
+                        .and_then(Value::as_object)
+                        .ok_or_else(|| format!("event {idx}: `{name}` without `args`"))?;
+                    for key in keys {
+                        if args.get(key).is_none() {
+                            return Err(format!(
+                                "event {idx}: `{name}` missing required arg `{key}`"
+                            ));
+                        }
+                    }
+                }
                 stats.instants += 1;
             }
             "C" => {
@@ -183,5 +236,27 @@ mod tests {
         // counter without args
         let bad = r#"{"traceEvents":[{"name":"c","ph":"C","ts":0,"pid":0,"tid":0}]}"#;
         assert!(validate_chrome_trace(bad).is_err());
+    }
+
+    #[test]
+    fn known_event_kinds_require_their_args() {
+        // drift.detected without its attrs is rejected...
+        let bad = r#"{"traceEvents":[{"name":"drift.detected","ph":"i","s":"t","ts":0,"pid":0,"tid":0,"args":{"stage":1}}]}"#;
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("factor"), "{err}");
+        // ...and accepted when complete.
+        let good = r#"{"traceEvents":[{"name":"drift.detected","ph":"i","s":"t","ts":0,"pid":0,"tid":0,"args":{"stage":1,"factor":1.7,"samples":3}}]}"#;
+        let stats = validate_chrome_trace(good).unwrap();
+        assert_eq!(stats.count("drift.detected"), 1);
+        // sched.replan must carry the full decision record.
+        let bad = r#"{"traceEvents":[{"name":"sched.replan","ph":"i","s":"t","ts":0,"pid":0,"tid":0,"args":{"trigger":"drift","at_stage":2}}]}"#;
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("sched.replan"), "{err}");
+        // lineage recovery without args at all is rejected.
+        let bad = r#"{"traceEvents":[{"name":"recovery.lineage_reexec","ph":"i","s":"t","ts":0,"pid":0,"tid":0}]}"#;
+        assert!(validate_chrome_trace(bad).unwrap_err().contains("args"));
+        // unlisted event kinds stay unconstrained.
+        let good = r#"{"traceEvents":[{"name":"fault.crashed","ph":"i","s":"t","ts":0,"pid":0,"tid":0}]}"#;
+        assert!(validate_chrome_trace(good).is_ok());
     }
 }

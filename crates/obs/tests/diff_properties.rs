@@ -1,0 +1,86 @@
+//! Property tests for the trace diff engine: for arbitrary task sets,
+//! a trace diffed against itself is all-zero, and the per-bucket deltas
+//! of any two traces sum to the end-to-end JCT delta — the "no residual
+//! unexplained time" invariant [`diff_traces`] promises by construction.
+
+use ditto_obs::{diff_traces, Recorder, Track};
+use proptest::prelude::*;
+
+/// One random task: `(stage, server, start, setup, read, compute, write)`
+/// with step durations in seconds.
+type RandTask = (u32, u32, f64, f64, f64, f64, f64);
+
+fn build_trace(tasks: &[RandTask]) -> ditto_obs::TraceData {
+    let rec = Recorder::new();
+    for &(stage, server, start, sd, rd, cd, wd) in tasks {
+        let r = start + sd;
+        let c = r + rd;
+        let w = c + cd;
+        let end = w + wd;
+        rec.span(
+            "task",
+            Track::server(server, stage),
+            start,
+            end,
+            vec![
+                ("stage", stage.into()),
+                ("read_start", r.into()),
+                ("compute_start", c.into()),
+                ("write_start", w.into()),
+            ],
+        );
+    }
+    rec.finish()
+}
+
+fn task_set() -> impl Strategy<Value = Vec<RandTask>> {
+    proptest::collection::vec(
+        (
+            0u32..6,      // stage
+            0u32..3,      // server
+            0.0f64..20.0, // start offset
+            0.0f64..0.5,  // setup
+            0.0f64..3.0,  // read
+            0.0f64..5.0,  // compute
+            0.0f64..3.0,  // write
+        ),
+        1..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Diffing a trace against itself attributes exactly nothing: no
+    /// stage carries a step, wait or total delta above noise.
+    #[test]
+    fn self_diff_is_all_zero(tasks in task_set()) {
+        let t = build_trace(&tasks);
+        let d = diff_traces(&t, &t);
+        prop_assert!(d.is_zero(1e-9), "nonzero self-diff:\n{}", d.render());
+        prop_assert_eq!(d.delta(), 0.0);
+        prop_assert_eq!(d.step_attributed(), 0.0);
+    }
+
+    /// For any two runs, the attributed per-bucket deltas (lead wait +
+    /// per-stage steps and waits) sum to the measured JCT delta within
+    /// 1e-6 — no bucket is double-counted and none is dropped.
+    #[test]
+    fn attribution_sums_to_jct_delta(a in task_set(), b in task_set()) {
+        let d = diff_traces(&build_trace(&a), &build_trace(&b));
+        let gap = (d.attributed() - d.delta()).abs();
+        prop_assert!(
+            gap <= 1e-6,
+            "attributed {} vs delta {} (gap {gap}):\n{}",
+            d.attributed(),
+            d.delta(),
+            d.render()
+        );
+        // Stage rows are unique and sorted, so the JSON is well-formed.
+        let stages: Vec<u32> = d.stages.iter().map(|s| s.stage).collect();
+        prop_assert!(
+            stages.windows(2).all(|w| w[0] < w[1]),
+            "stage rows not strictly sorted: {stages:?}"
+        );
+    }
+}

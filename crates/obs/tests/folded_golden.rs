@@ -1,0 +1,106 @@
+//! Golden-file test for the flamegraph exporter: a fixed synthetic trace
+//! must fold to byte-identical collapsed-stack lines, run after run.
+//!
+//! Regenerate the golden file after an intentional format change with:
+//!
+//! ```sh
+//! DITTO_UPDATE_GOLDEN=1 cargo test -p ditto-obs --test folded_golden
+//! ```
+
+use ditto_obs::{to_folded, Recorder, SpanId, Track};
+use std::path::PathBuf;
+
+/// A small but representative trace: a scheduler span tree, two servers
+/// running stage/task hierarchies with step attributes, and a storage
+/// span — every folding rule (group roots, parent chains, task step
+/// expansion, self-time subtraction, aggregation) fires at least once.
+fn exemplar_trace() -> ditto_obs::TraceData {
+    let rec = Recorder::new();
+    rec.name_track(Track::SCHEDULER_GROUP, "scheduler");
+    rec.name_track(Track::SERVER_BASE, "server 0");
+    rec.name_track(Track::SERVER_BASE + 1, "server 1");
+
+    // Scheduler: joint optimization with two rounds.
+    let joint = rec.span("sched.joint", Track::scheduler(0), 0.0, 0.5, vec![]);
+    rec.span_with_parent("sched.round", Track::scheduler(0), 0.05, 0.2, joint, vec![]);
+    rec.span_with_parent("sched.round", Track::scheduler(0), 0.2, 0.4, joint, vec![]);
+
+    // Server 0: stage 0 with two tasks, step-attributed.
+    let task = |rec: &Recorder, server: u32, stage: u32, parent: SpanId, start: f64, end: f64| {
+        rec.span_with_parent(
+            "task",
+            Track::server(server, stage),
+            start,
+            end,
+            parent,
+            vec![
+                ("stage", stage.into()),
+                ("read_start", (start + 0.2).into()),
+                ("compute_start", (start + 1.0).into()),
+                ("write_start", (end - 0.5).into()),
+            ],
+        );
+    };
+    let s0 = rec.span(
+        "stage",
+        Track::server(0, 0),
+        0.5,
+        4.5,
+        vec![("stage", 0u32.into()), ("read_medium", "s3".into())],
+    );
+    task(&rec, 0, 0, s0, 0.5, 2.5);
+    task(&rec, 0, 0, s0, 2.5, 4.5);
+
+    // Server 1: stage 1, one task.
+    let s1 = rec.span(
+        "stage",
+        Track::server(1, 1),
+        4.5,
+        8.0,
+        vec![("stage", 1u32.into()), ("read_medium", "shm".into())],
+    );
+    task(&rec, 1, 1, s1, 4.5, 8.0);
+
+    // Storage: one shuffle read span with no parent.
+    rec.span("shuffle.read", Track::storage(), 2.5, 3.0, vec![]);
+
+    rec.finish()
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("folded.txt")
+}
+
+#[test]
+fn folded_export_is_byte_stable() {
+    assert_eq!(to_folded(&exemplar_trace()), to_folded(&exemplar_trace()));
+}
+
+#[test]
+fn folded_export_matches_golden_file() {
+    let folded = to_folded(&exemplar_trace());
+    // Sanity: every folding rule produced output before comparing bytes.
+    assert!(folded.contains("scheduler;sched.joint;sched.round "));
+    assert!(folded.contains("server_0;stage;task;compute "));
+    assert!(folded.contains("server_1;stage;task;read "));
+    assert!(folded.contains("storage;shuffle.read "));
+    let path = golden_path();
+    if std::env::var_os("DITTO_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &folded).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with DITTO_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        folded, golden,
+        "folded export drifted from the golden file; if intentional, regenerate with DITTO_UPDATE_GOLDEN=1"
+    );
+}
