@@ -12,6 +12,7 @@
 //! |-----------|---------------------------------------------------|-------|
 //! | `DET01`   | `HashMap`/`HashSet` in code (iteration order)     | core, exec, cluster |
 //! | `DET02`   | `partial_cmp(..).unwrap()/expect()` (NaN panic + asymmetry) | whole workspace |
+//! | `DET03`   | `HashMap::new()`/`HashSet::new()` (seeded `RandomState`) | sql kernels |
 //! | `PANIC01` | `.unwrap()` outside tests/bins                    | core, exec, cluster, timemodel |
 //! | `PANIC02` | `.expect(..)` outside tests/bins                  | core, exec, cluster, timemodel |
 //! | `TRUNC01` | float `floor/ceil/round/sqrt` cast to `u32/u64/usize` | core, timemodel |
@@ -28,6 +29,12 @@ pub enum LintRule {
     Det01HashCollection,
     /// `partial_cmp(..).unwrap()`: panics on NaN; use `f64::total_cmp`.
     Det02PartialCmpUnwrap,
+    /// `HashMap::new()` / `HashSet::new()` in the SQL kernel paths: the
+    /// default `RandomState` is seeded per process, so anything whose
+    /// output order (or wire bytes) depends on it breaks the kernels'
+    /// bit-identity contract. Kernels must use the crate's deterministic
+    /// open-addressing tables (`ditto_sql::hash`) or `BTreeMap`.
+    Det03SqlHashConstructor,
     /// `.unwrap()` in non-test, non-bin scheduler/exec code.
     Panic01Unwrap,
     /// `.expect(..)` in non-test, non-bin scheduler/exec code — allowed
@@ -49,6 +56,7 @@ impl LintRule {
         match self {
             LintRule::Det01HashCollection => "DET01",
             LintRule::Det02PartialCmpUnwrap => "DET02",
+            LintRule::Det03SqlHashConstructor => "DET03",
             LintRule::Panic01Unwrap => "PANIC01",
             LintRule::Panic02Expect => "PANIC02",
             LintRule::Trunc01FloatCast => "TRUNC01",
@@ -56,10 +64,11 @@ impl LintRule {
         }
     }
 
-    fn all() -> [LintRule; 6] {
+    fn all() -> [LintRule; 7] {
         [
             LintRule::Det01HashCollection,
             LintRule::Det02PartialCmpUnwrap,
+            LintRule::Det03SqlHashConstructor,
             LintRule::Panic01Unwrap,
             LintRule::Panic02Expect,
             LintRule::Trunc01FloatCast,
@@ -74,6 +83,15 @@ impl LintRule {
         match self {
             LintRule::Det01HashCollection => scheduler_exec.iter().any(|p| rel.starts_with(p)),
             LintRule::Det02PartialCmpUnwrap => true,
+            LintRule::Det03SqlHashConstructor => {
+                // Kernel paths only: the lowered query definitions, the
+                // retained reference implementations and the data
+                // generator are order-insensitive internally and exempt.
+                rel.starts_with("crates/sql/")
+                    && !rel.starts_with("crates/sql/src/queries/")
+                    && !rel.ends_with("/reference.rs")
+                    && !rel.ends_with("/datagen.rs")
+            }
             LintRule::Panic01Unwrap | LintRule::Panic02Expect => scheduler_exec
                 .iter()
                 .any(|p| rel.starts_with(p))
@@ -96,6 +114,12 @@ impl LintRule {
             LintRule::Det02PartialCmpUnwrap => {
                 line.contains("partial_cmp")
                     && (line.contains(".unwrap()") || line.contains(".expect("))
+            }
+            LintRule::Det03SqlHashConstructor => {
+                line.contains("HashMap::new(")
+                    || line.contains("HashSet::new(")
+                    || line.contains("HashMap::with_capacity(")
+                    || line.contains("HashSet::with_capacity(")
             }
             LintRule::Panic01Unwrap => line.contains(".unwrap()") && !line.contains("partial_cmp"),
             LintRule::Panic02Expect => line.contains(".expect(") && !line.contains("partial_cmp"),
@@ -123,6 +147,11 @@ impl LintRule {
             }
             LintRule::Det02PartialCmpUnwrap => {
                 "partial_cmp().unwrap() panics on NaN; use f64::total_cmp"
+            }
+            LintRule::Det03SqlHashConstructor => {
+                "std HashMap/HashSet constructors seed a per-process RandomState; SQL \
+                 kernels must stay bit-deterministic — use ditto_sql::hash tables or \
+                 BTreeMap/BTreeSet"
             }
             LintRule::Panic01Unwrap => {
                 "unwrap() in non-test scheduler/exec code; return a typed error or use a \
@@ -429,6 +458,25 @@ fn also_shipping() { Some(2).unwrap(); }
         assert_eq!(run("crates/core/src/x.rs", src).len(), 1);
         assert_eq!(run("crates/sql/src/x.rs", src).len(), 0);
         assert_eq!(run("crates/dag/src/x.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn det03_flags_hash_constructors_in_sql_kernels() {
+        let src = "let mut m: HashMap<i64, Vec<usize>> = HashMap::new();\n";
+        let f = run("crates/sql/src/ops/join.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, LintRule::Det03SqlHashConstructor);
+        let set = "let mut seen = HashSet::with_capacity(n);\n";
+        assert_eq!(run("crates/sql/src/ops/sort.rs", set).len(), 1);
+        // A type annotation or import alone is not a construction site.
+        assert!(run("crates/sql/src/table.rs", "use std::collections::HashMap;\n").is_empty());
+        // Exempt paths: query definitions, the reference oracle, datagen.
+        assert!(run("crates/sql/src/queries/q95.rs", src).is_empty());
+        assert!(run("crates/sql/src/reference.rs", src).is_empty());
+        assert!(run("crates/sql/src/datagen.rs", src).is_empty());
+        // Out of crate: DET01's scope, not DET03's.
+        let core = run("crates/core/src/x.rs", src);
+        assert!(core.iter().all(|f| f.rule == LintRule::Det01HashCollection));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! cargo run --release -p ditto-bench --bin figures -- --json fig8a
 //! cargo run --release -p ditto-bench --bin figures -- faults --trace-out trace.json
 //! cargo run --release -p ditto-bench --bin figures -- sched        # writes BENCH_sched.json
+//! cargo run --release -p ditto-bench --bin figures -- sqlbench     # writes BENCH_sql.json
 //! cargo run --release -p ditto-bench --bin figures -- regress      # gate vs BENCH_HISTORY.jsonl
 //! ```
 //!
@@ -20,10 +21,10 @@
 //! frozen-vs-adaptive diff and predictor scorecard) for `adapt`, and the
 //! fixed-seed traced fault experiment otherwise.
 //!
-//! Every `sched|adapt|faults|telemetry` run appends a config-fingerprinted
+//! Every `sched|sqlbench|adapt|faults|telemetry` run appends a config-fingerprinted
 //! record to `BENCH_HISTORY.jsonl` (`DITTO_HISTORY_PATH` overrides);
 //! `regress` replays the deterministic experiments (`faults`,
-//! `adapt-smoke`) against that history with noise-aware thresholds and
+//! `adapt-smoke`, `sqlbench-smoke`) against that history with noise-aware thresholds and
 //! exits nonzero on regression (`--record-only` seeds history without
 //! judging — CI's first runs).
 
@@ -151,6 +152,28 @@ fn main() {
                     trace_consumed = true;
                 }
             }
+            // SQL data-plane benchmark: vectorized columnar kernels vs
+            // the retained row-at-a-time reference, plus the five query
+            // plans end to end through the LocalRuntime. `sqlbench` runs
+            // the 1M-row micros + sf-0.5 e2e tier; `sqlbench-smoke` the
+            // CI subset. Both write BENCH_sql.json; the smoke history
+            // record carries only the deterministic byte metrics so the
+            // regress gate compares exact values.
+            "sqlbench" | "sqlbench-smoke" => {
+                let rows = if t == "sqlbench" {
+                    ditto_bench::sql_bench()
+                } else {
+                    ditto_bench::sql_bench_smoke()
+                };
+                emit(&rows, json);
+                std::fs::write("BENCH_sql.json", write_json(&rows)).expect("write BENCH_sql.json");
+                println!("wrote BENCH_sql.json ({} rows)", rows.len());
+                record_history(HistoryRecord::now(
+                    t,
+                    &sql_config(t),
+                    sql_metrics(&rows, t == "sqlbench"),
+                ));
+            }
             // Adaptive-execution sweep: drift × loss × recovery policy,
             // frozen vs adaptive engine. `adapt` runs the full grid;
             // `adapt-smoke` the CI extremes. Both write BENCH_adapt.json
@@ -232,12 +255,18 @@ fn main() {
                 );
                 let frows = ditto_bench::fault_sweep();
                 let arows = ditto_bench::adapt_sweep_smoke();
+                let srows = ditto_bench::sql_bench_smoke();
                 let records = [
                     HistoryRecord::now("faults", &faults_config(), faults_metrics(&frows)),
                     HistoryRecord::now(
                         "adapt-smoke",
                         &adapt_config("adapt-smoke"),
                         adapt_metrics(&arows),
+                    ),
+                    HistoryRecord::now(
+                        "sqlbench-smoke",
+                        &sql_config("sqlbench-smoke"),
+                        sql_metrics(&srows, false),
                     ),
                 ];
                 let mut failed = false;
@@ -265,7 +294,7 @@ fn main() {
                 );
             }
             other => eprintln!(
-                "unknown target {other:?}; known: {all:?} (+ \"sched\", \"sched-smoke\", \"adapt\", \"adapt-smoke\", \"regress\" — not in `all`)"
+                "unknown target {other:?}; known: {all:?} (+ \"sched\", \"sched-smoke\", \"sqlbench\", \"sqlbench-smoke\", \"adapt\", \"adapt-smoke\", \"regress\" — not in `all`)"
             ),
         }
     }
@@ -365,6 +394,34 @@ fn adapt_metrics(rows: &[ditto_bench::AdaptSweepRow]) -> Vec<(String, f64)> {
             )
         })
         .collect()
+}
+
+fn sql_config(t: &str) -> String {
+    use ditto_bench::sql_bench::{SQL_BENCH_ROWS, SQL_BENCH_SF, SQL_SMOKE_ROWS, SQL_SMOKE_SF};
+    if t == "sqlbench" {
+        format!("micro_rows={SQL_BENCH_ROWS} sf={SQL_BENCH_SF}")
+    } else {
+        format!("micro_rows={SQL_SMOKE_ROWS} sf={SQL_SMOKE_SF}")
+    }
+}
+
+/// Byte metrics are deterministic (placement + codec), so they always go
+/// in; wall metrics are only worth tracking on the full release sweep.
+fn sql_metrics(rows: &[ditto_bench::SqlBenchRow], include_wall: bool) -> Vec<(String, f64)> {
+    let mut m = Vec::new();
+    for r in rows {
+        if r.wire_bytes > 0 {
+            m.push((format!("sql_{}_wire_bytes", r.op), r.wire_bytes as f64));
+            m.push((
+                format!("sql_{}_logical_bytes", r.op),
+                r.logical_bytes as f64,
+            ));
+        }
+        if include_wall {
+            m.push((format!("sql_{}_vectorized_ms", r.op), r.vectorized_ms));
+        }
+    }
+    m
 }
 
 fn sched_metrics(rows: &[ditto_bench::SchedBenchRow]) -> Vec<(String, f64)> {

@@ -25,6 +25,7 @@ pub mod history;
 pub mod report;
 pub mod sched_bench;
 pub mod setup;
+pub mod sql_bench;
 pub mod telemetry;
 
 pub use ablations::all_ablations;
@@ -40,4 +41,5 @@ pub use experiments::*;
 pub use report::{render_rows, write_json};
 pub use sched_bench::{sched_bench, sched_bench_sizes, sched_bench_smoke, SchedBenchRow};
 pub use setup::{prepare, PreparedQuery, VOLUME_SCALE};
+pub use sql_bench::{sql_bench, sql_bench_smoke, sql_bench_with, SqlBenchRow};
 pub use telemetry::{telemetry_overhead, traced_fault_run, TelemetryOverheadRow, TracedRun};

@@ -153,7 +153,8 @@ impl LocalRuntime {
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = (0..d)
                         .map(|t| {
-                            let scan_slice = scan_slices.as_ref().map(|v| v[t as usize].clone());
+                            // Borrow, don't clone: the slices outlive the scope.
+                            let scan_slice = scan_slices.as_ref().map(|v| &v[t as usize]);
                             let monitor = monitor.clone();
                             scope.spawn(move || {
                                 self.run_task(
@@ -215,7 +216,7 @@ impl LocalRuntime {
         dataplane: &DataPlane,
         s: StageId,
         t: u32,
-        scan_slice: Option<Table>,
+        scan_slice: Option<&Table>,
         is_final: bool,
         timeout: Duration,
         job_start: Instant,
@@ -260,7 +261,7 @@ impl LocalRuntime {
         let mut faulted = false;
         let mut out = loop {
             attempt_start = job_start.elapsed().as_secs_f64();
-            let attempt_out = plan.execute_stage(s, db, &inputs, scan_slice.as_ref());
+            let attempt_out = plan.execute_stage(s, db, &inputs, scan_slice);
             if self.faults.crash_point(s, t, attempt).is_some() {
                 // The attempt crashed before publishing: discard its
                 // output, back off, re-execute.
@@ -332,7 +333,7 @@ impl LocalRuntime {
                 }
                 attempt += 1;
                 attempt_start = job_start.elapsed().as_secs_f64();
-                out = plan.execute_stage(s, db, &inputs, scan_slice.as_ref());
+                out = plan.execute_stage(s, db, &inputs, scan_slice);
                 faulted = true;
             }
         }
@@ -502,18 +503,18 @@ impl LocalRuntime {
     /// simulator models the general case).
     fn reexec_producer(&self, cx: &TaskCtx<'_>, src: StageId, ut: u32) -> Result<(), ExecError> {
         let (inputs, _, input_keys) = self.gather_inputs(cx, src, ut, false)?;
-        let scan_slice = match &cx.plan.stages[src.index()].op {
-            StageOp::Scan { table, .. } => Some(
-                cx.db
-                    .table(table)
-                    .split(cx.schedule.dop[src.index()] as usize)[ut as usize]
-                    .clone(),
-            ),
+        let scan_slices = match &cx.plan.stages[src.index()].op {
+            StageOp::Scan { table, .. } => {
+                Some(cx.db.table(table).split(cx.schedule.dop[src.index()] as usize))
+            }
             _ => None,
         };
-        let out = cx
-            .plan
-            .execute_stage(src, cx.db, &inputs, scan_slice.as_ref());
+        let out = cx.plan.execute_stage(
+            src,
+            cx.db,
+            &inputs,
+            scan_slices.as_ref().map(|v| &v[ut as usize]),
+        );
         self.scatter_outputs(cx, src, ut, &out, &input_keys, true)?;
         let mut st = cx.stats.lock().unwrap_or_else(|p| p.into_inner());
         st.lineage_reexecs += 1;
@@ -541,41 +542,50 @@ impl LocalRuntime {
         let mut bytes_written = 0u64;
         for e in dag.out_edges(s) {
             let dv = cx.schedule.dop[e.dst.index()];
-            let buckets: Vec<Table> = match e.kind {
+            // Wire frames per consumer: (encoded bytes, logical table bytes).
+            let frames: Vec<(bytes::Bytes, u64)> = match e.kind {
                 EdgeKind::Shuffle => {
                     let key = cx.plan.stages[s.index()]
                         .output_key
                         .as_deref()
                         .ok_or(ExecError::MissingOutputKey { stage: s.0 })?;
-                    out.hash_partition(key, dv as usize)
+                    // Fused partition+encode: hashes computed once, bytes
+                    // written straight into each bucket's frame — the
+                    // per-bucket Tables are never materialized.
+                    out.encode_partitions(key, dv as usize)
+                        .into_iter()
+                        .map(|p| (p.data, p.logical_bytes))
+                        .collect()
                 }
                 EdgeKind::Gather => {
                     // Full output to consumer (t % dv); empty markers keep
-                    // schemas flowing to the rest.
+                    // schemas flowing to the rest. Encode each frame once
+                    // and hand out cheap refcounted clones.
                     let target = t % dv;
+                    let full = (out.encode(), out.byte_size());
+                    let empty_table = Table::empty(out.schema.clone());
+                    let empty = (empty_table.encode(), 0u64);
                     (0..dv)
-                        .map(|vt| {
-                            if vt == target {
-                                out.clone()
-                            } else {
-                                Table::empty(out.schema.clone())
-                            }
-                        })
+                        .map(|vt| if vt == target { full.clone() } else { empty.clone() })
                         .collect()
                 }
-                EdgeKind::AllGather => (0..dv).map(|_| out.clone()).collect(),
+                EdgeKind::AllGather => {
+                    let full = (out.encode(), out.byte_size());
+                    (0..dv).map(|_| full.clone()).collect()
+                }
             };
-            for (vt, bucket) in buckets.into_iter().enumerate() {
+            for (vt, (data, logical)) in frames.into_iter().enumerate() {
                 let dst_server = cx.schedule.placement[e.dst.index()]
                     .server_of_task(vt as u32)
                     .index();
                 if external_only && dst_server == my_server {
                     continue;
                 }
-                let data = bucket.encode();
                 bytes_written += data.len() as u64;
                 cx.dataplane
-                    .send_partition(e.id.0, t, vt as u32, my_server, dst_server, data)
+                    .send_partition_sized(
+                        e.id.0, t, vt as u32, my_server, dst_server, data, logical,
+                    )
                     .map_err(|err| {
                         ExecError::DataPlane(format!(
                             "{}: stage {s} task {t}: {err}",

@@ -80,6 +80,46 @@ impl Column {
         }
     }
 
+    /// Borrow the string at `row` without cloning (the hot-path
+    /// replacement for [`Column::value`] on string columns).
+    pub fn str_at(&self, row: usize) -> &str {
+        match self {
+            Column::Str(v) => &v[row],
+            other => panic!("expected str column, got {}", other.dtype()),
+        }
+    }
+
+    /// Copy the contiguous row range `start .. start + len` into a new
+    /// column (one block copy for numerics).
+    pub fn slice(&self, start: usize, len: usize) -> Column {
+        match self {
+            Column::I64(v) => Column::I64(v[start..start + len].to_vec()),
+            Column::F64(v) => Column::F64(v[start..start + len].to_vec()),
+            Column::Str(v) => Column::Str(v[start..start + len].to_vec()),
+        }
+    }
+
+    /// [`Column::hash_row`] for every row at once. Equal to
+    /// `(0..len).map(|r| hash_row(r))` but hashes each *distinct* string
+    /// only once by dictionary-encoding string columns first.
+    pub fn hash_column(&self) -> Vec<u64> {
+        match self {
+            Column::I64(v) => v.iter().map(|&x| crate::hash::fnv1a_u64_le(x as u64)).collect(),
+            Column::F64(v) => {
+                v.iter().map(|x| crate::hash::fnv1a_u64_le(x.to_bits())).collect()
+            }
+            Column::Str(v) => {
+                let (dict, codes) = crate::dict::StrDict::encode_column(v);
+                let by_code: Vec<u64> = dict
+                    .entries()
+                    .iter()
+                    .map(|s| crate::hash::fnv1a_bytes(s.as_bytes()))
+                    .collect();
+                codes.iter().map(|&c| by_code[c as usize]).collect()
+            }
+        }
+    }
+
     /// An empty column of the same type.
     pub fn empty_like(&self) -> Column {
         match self {
@@ -235,6 +275,42 @@ mod tests {
         assert_ne!(c.hash_row(0), c.hash_row(2));
         let s = Column::Str(vec!["x".into(), "y".into()]);
         assert_ne!(s.hash_row(0), s.hash_row(1));
+    }
+
+    #[test]
+    fn str_at_borrows() {
+        let c = Column::Str(vec!["a".into(), "b".into()]);
+        assert_eq!(c.str_at(1), "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected str")]
+    fn str_at_wrong_type_panics() {
+        Column::I64(vec![1]).str_at(0);
+    }
+
+    #[test]
+    fn slice_copies_contiguous_range() {
+        let c = Column::I64(vec![1, 2, 3, 4]);
+        assert_eq!(c.slice(1, 2), Column::I64(vec![2, 3]));
+        assert_eq!(c.slice(4, 0), Column::I64(vec![]));
+        let s = Column::Str(vec!["a".into(), "b".into(), "c".into()]);
+        assert_eq!(s.slice(0, 2), Column::Str(vec!["a".into(), "b".into()]));
+    }
+
+    #[test]
+    fn hash_column_matches_hash_row() {
+        let cols = [
+            Column::I64(vec![7, -1, 7, i64::MIN]),
+            Column::F64(vec![0.0, -0.0, 3.5]),
+            Column::Str(vec!["x".into(), "".into(), "x".into(), "yy".into()]),
+        ];
+        for c in &cols {
+            let bulk = c.hash_column();
+            for (row, &h) in bulk.iter().enumerate() {
+                assert_eq!(h, c.hash_row(row));
+            }
+        }
     }
 
     #[test]

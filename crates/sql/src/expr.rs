@@ -1,8 +1,13 @@
 //! Row predicates: the filter language of the mini engine.
+//!
+//! Evaluation is vectorized: each predicate variant dispatches on the
+//! column type once and runs a tight per-type loop over the typed slice —
+//! no per-cell [`Value`] construction, no `String` clones. Semantics
+//! (including panic messages and NaN ordering) match the retained
+//! [`crate::reference::eval_reference`] exactly.
 
-use crate::column::Value;
+use crate::column::{Column, Value};
 use crate::table::Table;
-use std::collections::HashSet;
 
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,21 +109,52 @@ impl Pred {
 
     /// Evaluate to a row mask over the table.
     pub fn eval(&self, t: &Table) -> Vec<bool> {
+        use std::cmp::Ordering;
         let n = t.num_rows();
         match self {
             Pred::Cmp { col, op, value } => {
                 let c = t.column_req(col);
-                (0..n).map(|r| cmp_value(&c.value(r), *op, value)).collect()
+                match (c, value) {
+                    (Column::I64(v), Value::I64(b)) => {
+                        v.iter().map(|x| cmp_ord(x.cmp(b), *op)).collect()
+                    }
+                    (Column::F64(v), Value::F64(b)) => v
+                        .iter()
+                        .map(|x| {
+                            cmp_ord(x.partial_cmp(b).unwrap_or(Ordering::Equal), *op)
+                        })
+                        .collect(),
+                    (Column::Str(v), Value::Str(b)) => v
+                        .iter()
+                        .map(|x| cmp_ord(x.as_str().cmp(b.as_str()), *op))
+                        .collect(),
+                    _ if n == 0 => Vec::new(),
+                    _ => {
+                        // Mismatched types: the reference panics on the
+                        // first evaluated cell; reproduce its message.
+                        panic!(
+                            "type mismatch in comparison: {:?} vs {:?}",
+                            c.value(0),
+                            value
+                        )
+                    }
+                }
             }
             Pred::InI64 { col, set } => {
-                let s: HashSet<i64> = set.iter().copied().collect();
+                let mut s: Vec<i64> = set.clone();
+                s.sort_unstable();
+                s.dedup();
                 let c = t.column_req(col).as_i64();
-                c.iter().map(|v| s.contains(v)).collect()
+                c.iter().map(|v| s.binary_search(v).is_ok()).collect()
             }
             Pred::InStr { col, set } => {
-                let s: HashSet<&str> = set.iter().map(|x| x.as_str()).collect();
+                let mut s: Vec<&str> = set.iter().map(|x| x.as_str()).collect();
+                s.sort_unstable();
+                s.dedup();
                 let c = t.column_req(col).as_str();
-                c.iter().map(|v| s.contains(v.as_str())).collect()
+                c.iter()
+                    .map(|v| s.binary_search(&v.as_str()).is_ok())
+                    .collect()
             }
             Pred::ColCmp {
                 left,
@@ -128,11 +164,16 @@ impl Pred {
             } => {
                 let l = t.column_req(left);
                 let r = t.column_req(right);
+                if n == 0 {
+                    return Vec::new();
+                }
+                let lv = NumView::of(l);
+                let rv = NumView::of(r);
                 (0..n)
                     .map(|row| {
-                        let lv = numeric(&l.value(row));
-                        let rv = numeric(&r.value(row)) * scale;
-                        cmp_value(&Value::F64(lv), *op, &Value::F64(rv))
+                        let a = lv.get(row);
+                        let b = rv.get(row) * scale;
+                        cmp_ord(a.partial_cmp(&b).unwrap_or(Ordering::Equal), *op)
                     })
                     .collect()
             }
@@ -159,22 +200,36 @@ impl Pred {
     }
 }
 
-fn numeric(v: &Value) -> f64 {
-    match v {
-        Value::I64(x) => *x as f64,
-        Value::F64(x) => *x,
-        Value::Str(s) => panic!("numeric comparison over string value {s:?}"),
+/// A numeric read-only view over an i64 or f64 column.
+enum NumView<'a> {
+    I(&'a [i64]),
+    F(&'a [f64]),
+}
+
+impl<'a> NumView<'a> {
+    /// View a column as numeric; panics like the reference's `numeric()`
+    /// on string columns (callers only construct views for non-empty
+    /// tables, matching its lazy per-row rejection).
+    fn of(c: &'a Column) -> NumView<'a> {
+        match c {
+            Column::I64(v) => NumView::I(v),
+            Column::F64(v) => NumView::F(v),
+            Column::Str(v) => {
+                panic!("numeric comparison over string value {:?}", v[0])
+            }
+        }
+    }
+
+    fn get(&self, row: usize) -> f64 {
+        match self {
+            NumView::I(v) => v[row] as f64,
+            NumView::F(v) => v[row],
+        }
     }
 }
 
-fn cmp_value(lhs: &Value, op: CmpOp, rhs: &Value) -> bool {
+fn cmp_ord(ord: std::cmp::Ordering, op: CmpOp) -> bool {
     use std::cmp::Ordering;
-    let ord = match (lhs, rhs) {
-        (Value::I64(a), Value::I64(b)) => a.cmp(b),
-        (Value::F64(a), Value::F64(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
-        (Value::Str(a), Value::Str(b)) => a.cmp(b),
-        (a, b) => panic!("type mismatch in comparison: {a:?} vs {b:?}"),
-    };
     match op {
         CmpOp::Eq => ord == Ordering::Equal,
         CmpOp::Ne => ord != Ordering::Equal,
@@ -252,6 +307,49 @@ mod tests {
     #[should_panic(expected = "type mismatch")]
     fn type_mismatch_panics() {
         Pred::eq_i64("s", 1).eval(&t());
+    }
+
+    #[test]
+    fn matches_reference_eval() {
+        let t = t();
+        let preds = [
+            Pred::eq_i64("k", 3),
+            Pred::eq_str("s", "TN"),
+            Pred::between_i64("k", 2, 4),
+            Pred::InI64 {
+                col: "k".into(),
+                set: vec![5, 1, 5],
+            },
+            Pred::InStr {
+                col: "s".into(),
+                set: vec!["NY".into(), "CA".into()],
+            },
+            Pred::ColCmp {
+                left: "x".into(),
+                op: CmpOp::Ge,
+                right: "k".into(),
+                scale: 0.5,
+            },
+            Pred::Not(Box::new(Pred::Or(vec![
+                Pred::eq_i64("k", 1),
+                Pred::eq_str("s", "WA"),
+            ]))),
+        ];
+        for p in &preds {
+            assert_eq!(p.eval(&t), crate::reference::eval_reference(p, &t), "{p:?}");
+        }
+        // Empty table: every predicate evaluates to an empty mask.
+        let e = Table::new(
+            Schema::new(&[("k", DataType::I64), ("s", DataType::Str), ("x", DataType::F64)]),
+            vec![
+                Column::I64(vec![]),
+                Column::Str(vec![]),
+                Column::F64(vec![]),
+            ],
+        );
+        for p in &preds {
+            assert_eq!(p.eval(&e), Vec::<bool>::new(), "{p:?}");
+        }
     }
 
     #[test]

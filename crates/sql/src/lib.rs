@@ -7,14 +7,18 @@
 //! operators (e.g., join and groupby)" (§5). This crate is that substrate,
 //! built from scratch:
 //!
-//! * [`mod@column`] / [`table`] — typed columnar storage with zero-copy-ish
-//!   row selection, hash partitioning and a compact binary codec (so
-//!   intermediate tables can travel through the `ditto-storage` data
-//!   plane);
-//! * [`expr`] — predicates over columns;
+//! * [`mod@column`] / [`table`] — typed columnar storage with
+//!   selection-vector row selection ([`selvec`]), single-pass hash
+//!   partitioning and a compact binary codec (bulk little-endian numeric
+//!   runs, dictionary-encoded strings) so intermediate tables can travel
+//!   through the `ditto-storage` data plane;
+//! * [`expr`] — predicates over columns, evaluated on typed slices;
 //! * [`ops`] — scan, filter/project, hash join (inner/semi/anti),
 //!   group-by aggregation (sum/count/count-distinct/avg/min/max, with
-//!   `HAVING`), distinct, sort-limit, union;
+//!   `HAVING`), distinct, sort-limit, union. Joins and group-bys run on
+//!   typed key fast paths ([`hash`], [`dict`]) and are proven
+//!   bit-identical to the retained row-at-a-time [`mod@reference`]
+//!   implementations;
 //! * [`datagen`] — a synthetic TPC-DS-like database generator with a
 //!   configurable scale factor preserving the benchmark's relative table
 //!   sizes and key skew;
@@ -26,14 +30,19 @@
 
 pub mod column;
 pub mod datagen;
+pub mod dict;
 pub mod expr;
+pub mod hash;
 pub mod ops;
 pub mod plan;
 pub mod queries;
+pub mod reference;
+pub mod selvec;
 pub mod table;
 
 pub use column::Column;
 pub use datagen::{Database, ScaleConfig};
 pub use expr::{CmpOp, Pred};
 pub use plan::{AggFunc, JoinKind, QueryPlan, StageOp, StageSpec};
-pub use table::{Field, Schema, Table};
+pub use selvec::SelVec;
+pub use table::{EncodedPartition, Field, Schema, Table};

@@ -1,9 +1,18 @@
 //! Group-by aggregation with HAVING support.
+//!
+//! Vectorized: group keys become fixed-width `u64` tuples (`i64` bits,
+//! dictionary codes for strings) assigned dense group ids through a raw
+//! [`TupleIdMap`] — no per-row `Vec<KeyPart>` allocation — and every
+//! aggregate is a single accumulator pass over the input in row order,
+//! which keeps float results bit-identical to the row-at-a-time
+//! [`crate::reference::group_by_reference`].
 
 use crate::column::{Column, DataType};
+use crate::dict::StrDict;
 use crate::expr::Pred;
+use crate::hash::TupleIdMap;
+use crate::selvec::SelVec;
 use crate::table::{Field, Schema, Table};
-use std::collections::{HashMap, HashSet};
 
 /// An aggregate over one input column.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,38 +62,63 @@ impl AggSpec {
     }
 }
 
-/// Hashable composite group key.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum KeyPart {
-    I(i64),
-    S(String),
-}
-
-fn key_of(cols: &[&Column], row: usize) -> Vec<KeyPart> {
-    cols.iter()
-        .map(|c| match c {
-            Column::I64(v) => KeyPart::I(v[row]),
-            Column::Str(v) => KeyPart::S(v[row].clone()),
-            Column::F64(_) => panic!("cannot group by a float column"),
-        })
-        .collect()
-}
-
-fn numeric_at(col: &Column, row: usize) -> f64 {
+/// One key column as exact `u64` row representatives: equal cells get
+/// equal words, distinct cells distinct words (no hashing involved).
+fn key_reprs(col: &Column) -> Vec<u64> {
     match col {
-        Column::I64(v) => v[row] as f64,
-        Column::F64(v) => v[row],
-        Column::Str(_) => panic!("numeric aggregate over a string column"),
+        Column::I64(v) => v.iter().map(|&x| x as u64).collect(),
+        Column::Str(v) => {
+            let (_, codes) = StrDict::encode_column(v);
+            codes.into_iter().map(u64::from).collect()
+        }
+        Column::F64(_) => panic!("cannot group by a float column"),
     }
 }
 
-/// Distinct-tracking needs hashable values; floats are hashed by bits.
-fn distinct_key(col: &Column, row: usize) -> KeyPart {
+/// Exact `u64` row representatives for distinct-counting (floats compare
+/// by bit pattern, exactly like the reference's `distinct_key`).
+fn distinct_reprs(col: &Column) -> Vec<u64> {
     match col {
-        Column::I64(v) => KeyPart::I(v[row]),
-        Column::F64(v) => KeyPart::I(v[row].to_bits() as i64),
-        Column::Str(v) => KeyPart::S(v[row].clone()),
+        Column::I64(v) => v.iter().map(|&x| x as u64).collect(),
+        Column::F64(v) => v.iter().map(|x| x.to_bits()).collect(),
+        Column::Str(v) => {
+            let (_, codes) = StrDict::encode_column(v);
+            codes.into_iter().map(u64::from).collect()
+        }
     }
+}
+
+/// Fold a numeric column into one accumulator per group, visiting rows in
+/// input order (so float accumulation matches the reference bit-for-bit).
+fn fold_numeric(
+    input: &Column,
+    group_of: &[u32],
+    groups: usize,
+    init: f64,
+    f: impl Fn(f64, f64) -> f64,
+) -> Vec<f64> {
+    let mut acc = vec![init; groups];
+    match input {
+        Column::I64(v) => {
+            for (&id, &x) in group_of.iter().zip(v) {
+                let a = &mut acc[id as usize];
+                *a = f(*a, x as f64);
+            }
+        }
+        Column::F64(v) => {
+            for (&id, &x) in group_of.iter().zip(v) {
+                let a = &mut acc[id as usize];
+                *a = f(*a, x);
+            }
+        }
+        Column::Str(_) => {
+            // The reference rejects lazily, per evaluated row.
+            if !group_of.is_empty() {
+                panic!("numeric aggregate over a string column");
+            }
+        }
+    }
+    acc
 }
 
 /// `SELECT keys, aggs FROM t GROUP BY keys [HAVING having]`.
@@ -109,20 +143,31 @@ fn distinct_key(col: &Column, row: usize) -> KeyPart {
 /// assert_eq!(g.column_req("total").as_f64(), &[40.0, 5.0]);
 /// ```
 pub fn group_by(t: &Table, keys: &[&str], aggs: &[AggSpec], having: Option<&Pred>) -> Table {
+    let n = t.num_rows();
     let key_cols: Vec<&Column> = keys.iter().map(|k| t.column_req(k)).collect();
-    // group key → (first-appearance index, rows)
-    let mut groups: HashMap<Vec<KeyPart>, Vec<usize>> = HashMap::new();
-    let mut order: Vec<Vec<KeyPart>> = Vec::new();
-    for row in 0..t.num_rows() {
-        let k = key_of(&key_cols, row);
-        groups
-            .entry(k.clone())
-            .or_insert_with(|| {
-                order.push(k);
-                Vec::new()
-            })
-            .push(row);
+    let reprs: Vec<Vec<u64>> = key_cols.iter().map(|c| key_reprs(c)).collect();
+
+    // Assign dense group ids in first-appearance order.
+    let stride = key_cols.len();
+    let mut map = TupleIdMap::with_capacity(stride, n);
+    let mut group_of: Vec<u32> = Vec::with_capacity(n);
+    let mut first_rows: Vec<u32> = Vec::new();
+    let mut counts: Vec<i64> = Vec::new();
+    let mut tuple: Vec<u64> = vec![0; stride];
+    for row in 0..n {
+        for (slot, r) in tuple.iter_mut().zip(&reprs) {
+            *slot = r[row];
+        }
+        let (id, new) = map.insert_or_get(&tuple);
+        if new {
+            first_rows.push(row as u32);
+            counts.push(0);
+        }
+        counts[id as usize] += 1;
+        group_of.push(id);
     }
+    let groups = first_rows.len();
+    let firsts = SelVec::Rows(first_rows);
 
     // Assemble output columns: keys first, then aggregates.
     let mut fields: Vec<Field> = Vec::new();
@@ -132,28 +177,7 @@ pub fn group_by(t: &Table, keys: &[&str], aggs: &[AggSpec], having: Option<&Pred
             name: k.to_string(),
             dtype: key_cols[i].dtype(),
         });
-        let col = match key_cols[i].dtype() {
-            DataType::I64 => Column::I64(
-                order
-                    .iter()
-                    .map(|key| match &key[i] {
-                        KeyPart::I(v) => *v,
-                        KeyPart::S(_) => unreachable!(),
-                    })
-                    .collect(),
-            ),
-            DataType::Str => Column::Str(
-                order
-                    .iter()
-                    .map(|key| match &key[i] {
-                        KeyPart::S(v) => v.clone(),
-                        KeyPart::I(_) => unreachable!(),
-                    })
-                    .collect(),
-            ),
-            DataType::F64 => unreachable!("rejected above"),
-        };
-        out_cols.push(col);
+        out_cols.push(key_cols[i].gather(&firsts));
     }
 
     for spec in aggs {
@@ -166,43 +190,56 @@ pub fn group_by(t: &Table, keys: &[&str], aggs: &[AggSpec], having: Option<&Pred
             dtype,
         });
         let col = match spec.func {
-            AggFunc::Count => Column::I64(
-                order.iter().map(|k| groups[k].len() as i64).collect(),
-            ),
+            AggFunc::Count => Column::I64(counts.clone()),
             AggFunc::CountDistinct => {
                 let input = t.column_req(&spec.input);
-                Column::I64(
-                    order
-                        .iter()
-                        .map(|k| {
-                            let set: HashSet<KeyPart> =
-                                groups[k].iter().map(|&r| distinct_key(input, r)).collect();
-                            set.len() as i64
-                        })
-                        .collect(),
-                )
+                let vals = distinct_reprs(input);
+                let mut seen = TupleIdMap::with_capacity(2, n);
+                let mut dc = vec![0i64; groups];
+                for (&id, &v) in group_of.iter().zip(&vals) {
+                    let (_, new) = seen.insert_or_get(&[id as u64, v]);
+                    if new {
+                        dc[id as usize] += 1;
+                    }
+                }
+                Column::I64(dc)
             }
-            AggFunc::Sum | AggFunc::Avg | AggFunc::Min | AggFunc::Max => {
-                let input = t.column_req(&spec.input);
+            AggFunc::Sum => Column::F64(fold_numeric(
+                t.column_req(&spec.input),
+                &group_of,
+                groups,
+                0.0,
+                |a, x| a + x,
+            )),
+            AggFunc::Avg => {
+                let sums = fold_numeric(
+                    t.column_req(&spec.input),
+                    &group_of,
+                    groups,
+                    0.0,
+                    |a, x| a + x,
+                );
                 Column::F64(
-                    order
-                        .iter()
-                        .map(|k| {
-                            let rows = &groups[k];
-                            let vals = rows.iter().map(|&r| numeric_at(input, r));
-                            match spec.func {
-                                AggFunc::Sum => vals.sum(),
-                                AggFunc::Avg => {
-                                    vals.sum::<f64>() / rows.len() as f64
-                                }
-                                AggFunc::Min => vals.fold(f64::INFINITY, f64::min),
-                                AggFunc::Max => vals.fold(f64::NEG_INFINITY, f64::max),
-                                _ => unreachable!(),
-                            }
-                        })
+                    sums.iter()
+                        .zip(&counts)
+                        .map(|(s, &c)| s / c as f64)
                         .collect(),
                 )
             }
+            AggFunc::Min => Column::F64(fold_numeric(
+                t.column_req(&spec.input),
+                &group_of,
+                groups,
+                f64::INFINITY,
+                f64::min,
+            )),
+            AggFunc::Max => Column::F64(fold_numeric(
+                t.column_req(&spec.input),
+                &group_of,
+                groups,
+                f64::NEG_INFINITY,
+                f64::max,
+            )),
         };
         out_cols.push(col);
     }
@@ -211,7 +248,7 @@ pub fn group_by(t: &Table, keys: &[&str], aggs: &[AggSpec], having: Option<&Pred
     match having {
         Some(p) => {
             let mask = p.eval(&out);
-            out.filter(&mask)
+            out.gather(&SelVec::from_mask(&mask))
         }
         None => out,
     }
@@ -334,5 +371,25 @@ mod tests {
     #[should_panic(expected = "float column")]
     fn float_group_key_rejected() {
         group_by(&t(), &["amt"], &[AggSpec::count("n")], None);
+    }
+
+    #[test]
+    fn matches_reference_across_agg_set() {
+        use crate::reference::group_by_reference;
+        let specs = [
+            AggSpec::count("n"),
+            AggSpec::new(AggFunc::CountDistinct, "cust", "dc"),
+            AggSpec::new(AggFunc::Sum, "amt", "s"),
+            AggSpec::new(AggFunc::Avg, "amt", "a"),
+            AggSpec::new(AggFunc::Min, "amt", "lo"),
+            AggSpec::new(AggFunc::Max, "amt", "hi"),
+        ];
+        for keys in [&["store"][..], &["cust"][..], &["store", "cust"][..], &[][..]] {
+            assert_eq!(
+                group_by(&t(), keys, &specs, None),
+                group_by_reference(&t(), keys, &specs, None),
+                "keys={keys:?}"
+            );
+        }
     }
 }

@@ -1,10 +1,17 @@
 //! Hash join: inner, left-semi and left-anti over single-column keys.
+//!
+//! Vectorized: `i64` keys go through a raw [`I64RowMap`] (open addressing,
+//! `u32` row chains, no enum boxing); string keys are dictionary-encoded on
+//! the build side so probes compare dense codes instead of cloning
+//! `String`s into boxed keys. Output is bit-identical to
+//! [`crate::reference::hash_join_reference`]: probe order follows the left
+//! input, matches within a key follow ascending build-row order.
 
 use crate::column::Column;
-#[cfg(test)]
-use crate::column::DataType;
+use crate::dict::StrDict;
+use crate::hash::I64RowMap;
+use crate::selvec::SelVec;
 use crate::table::{Field, Schema, Table};
-use std::collections::HashMap;
 
 /// Join flavor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -16,21 +23,6 @@ pub enum JoinKind {
     LeftSemi,
     /// Left rows with no match; left columns only (`NOT EXISTS`).
     LeftAnti,
-}
-
-/// A join key usable as a hash-map key (i64 or string columns).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum Key {
-    I(i64),
-    S(String),
-}
-
-fn key_at(col: &Column, row: usize) -> Key {
-    match col {
-        Column::I64(v) => Key::I(v[row]),
-        Column::Str(v) => Key::S(v[row].clone()),
-        Column::F64(_) => panic!("cannot join on a float column"),
-    }
 }
 
 /// Hash join `left ⋈ right` on `left_key = right_key`.
@@ -51,57 +43,106 @@ pub fn hash_join(
         rcol.dtype(),
         "join key types differ: {left_key} vs {right_key}"
     );
+    assert!(
+        left.num_rows() < u32::MAX as usize,
+        "probe side too large for u32 row ids"
+    );
 
-    // Build: right key → row indices.
-    let mut build: HashMap<Key, Vec<usize>> = HashMap::new();
-    for r in 0..right.num_rows() {
-        build.entry(key_at(rcol, r)).or_default().push(r);
-    }
-
-    match kind {
-        JoinKind::Inner => {
-            let mut lidx = Vec::new();
-            let mut ridx = Vec::new();
-            for l in 0..left.num_rows() {
-                if let Some(rs) = build.get(&key_at(lcol, l)) {
-                    for &r in rs {
-                        lidx.push(l);
-                        ridx.push(r);
+    match (lcol, rcol) {
+        (Column::I64(lk), Column::I64(rk)) => {
+            let map = I64RowMap::build(rk);
+            match kind {
+                JoinKind::Inner => {
+                    let mut lidx: Vec<u32> = Vec::new();
+                    let mut ridx: Vec<u32> = Vec::new();
+                    for (l, &k) in lk.iter().enumerate() {
+                        for r in map.rows(k) {
+                            lidx.push(l as u32);
+                            ridx.push(r);
+                        }
                     }
+                    inner_output(left, right, lidx, ridx)
+                }
+                JoinKind::LeftSemi | JoinKind::LeftAnti => {
+                    let want = kind == JoinKind::LeftSemi;
+                    let mask: Vec<bool> =
+                        lk.iter().map(|&k| map.contains(k) == want).collect();
+                    left.gather(&SelVec::from_mask(&mask))
                 }
             }
-            let lpart = left.take(&lidx);
-            let rpart = right.take(&ridx);
-            // Merge schemas; suffix right-side collisions.
-            let mut fields = lpart.schema.fields.clone();
-            let mut cols = lpart.columns.clone();
-            for (f, c) in rpart.schema.fields.iter().zip(&rpart.columns) {
-                let name = if lpart.schema.index_of(&f.name).is_some() {
-                    format!("{}_r", f.name)
-                } else {
-                    f.name.clone()
-                };
-                fields.push(Field {
-                    name,
-                    dtype: f.dtype,
-                });
-                cols.push(c.clone());
-            }
-            Table::new(Schema { fields }, cols)
         }
-        JoinKind::LeftSemi | JoinKind::LeftAnti => {
-            let want_match = kind == JoinKind::LeftSemi;
-            let mask: Vec<bool> = (0..left.num_rows())
-                .map(|l| build.contains_key(&key_at(lcol, l)) == want_match)
-                .collect();
-            left.filter(&mask)
+        (Column::Str(ls), Column::Str(rs)) => {
+            // Dictionary-encode the build side; chain codes like i64 keys.
+            let mut dict = StrDict::with_capacity(rs.len());
+            let rcodes: Vec<i64> = rs.iter().map(|s| dict.intern(s) as i64).collect();
+            let map = I64RowMap::build(&rcodes);
+            match kind {
+                JoinKind::Inner => {
+                    let mut lidx: Vec<u32> = Vec::new();
+                    let mut ridx: Vec<u32> = Vec::new();
+                    for (l, s) in ls.iter().enumerate() {
+                        if let Some(code) = dict.lookup(s) {
+                            for r in map.rows(code as i64) {
+                                lidx.push(l as u32);
+                                ridx.push(r);
+                            }
+                        }
+                    }
+                    inner_output(left, right, lidx, ridx)
+                }
+                JoinKind::LeftSemi | JoinKind::LeftAnti => {
+                    let want = kind == JoinKind::LeftSemi;
+                    let mask: Vec<bool> = ls
+                        .iter()
+                        .map(|s| dict.lookup(s).is_some() == want)
+                        .collect();
+                    left.gather(&SelVec::from_mask(&mask))
+                }
+            }
+        }
+        // Float keys (or any other combination the dtype assert let
+        // through). The reference rejects floats lazily, per evaluated
+        // row, so fully empty inputs produce an empty join instead.
+        _ => {
+            if left.num_rows() > 0 || right.num_rows() > 0 {
+                panic!("cannot join on a float column");
+            }
+            match kind {
+                JoinKind::Inner => inner_output(left, right, Vec::new(), Vec::new()),
+                JoinKind::LeftSemi | JoinKind::LeftAnti => {
+                    left.gather(&SelVec::all(0))
+                }
+            }
         }
     }
+}
+
+/// Assemble an inner join's output from matched row-pair indices: gather
+/// both sides, merge schemas, suffix right-side name collisions with `_r`.
+fn inner_output(left: &Table, right: &Table, lidx: Vec<u32>, ridx: Vec<u32>) -> Table {
+    let lpart = left.gather(&SelVec::Rows(lidx));
+    let rpart = right.gather(&SelVec::Rows(ridx));
+    let mut fields = lpart.schema.fields.clone();
+    let mut cols = lpart.columns;
+    for (f, c) in rpart.schema.fields.iter().zip(rpart.columns) {
+        let name = if lpart.schema.index_of(&f.name).is_some() {
+            format!("{}_r", f.name)
+        } else {
+            f.name.clone()
+        };
+        fields.push(Field {
+            name,
+            dtype: f.dtype,
+        });
+        cols.push(c);
+    }
+    Table::new(Schema { fields }, cols)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::column::DataType;
 
     fn left() -> Table {
         Table::new(
@@ -194,5 +235,28 @@ mod tests {
         // Both key columns are f64 so the type-equality check passes and
         // the float-key rejection fires.
         hash_join(&left(), &left(), "lx", "lx", JoinKind::Inner);
+    }
+
+    #[test]
+    fn matches_reference_on_all_kinds_and_key_types() {
+        use crate::reference::hash_join_reference;
+        for kind in [JoinKind::Inner, JoinKind::LeftSemi, JoinKind::LeftAnti] {
+            assert_eq!(
+                hash_join(&left(), &right(), "k", "k", kind),
+                hash_join_reference(&left(), &right(), "k", "k", kind),
+                "{kind:?} i64"
+            );
+            // Flip sides: string key join via the ry column.
+            let l = right();
+            let r = Table::new(
+                Schema::new(&[("ry", DataType::Str)]),
+                vec![Column::Str(vec!["c1".into(), "b".into(), "b".into()])],
+            );
+            assert_eq!(
+                hash_join(&l, &r, "ry", "ry", kind),
+                hash_join_reference(&l, &r, "ry", "ry", kind),
+                "{kind:?} str"
+            );
+        }
     }
 }

@@ -1,8 +1,9 @@
 //! Sort-limit (top-N) and distinct.
 
 use crate::column::Column;
+use crate::hash::TupleIdMap;
+use crate::selvec::SelVec;
 use crate::table::Table;
-use std::collections::HashSet;
 
 /// Sort direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,33 +17,43 @@ pub enum SortOrder {
 /// `ORDER BY col <order> LIMIT limit`. Stable: ties keep input order.
 pub fn sort_limit(t: &Table, col: &str, order: SortOrder, limit: usize) -> Table {
     let c = t.column_req(col);
-    let mut idx: Vec<usize> = (0..t.num_rows()).collect();
+    let mut idx: Vec<u32> = (0..t.num_rows() as u32).collect();
+    // Comparators read the typed slices directly — no per-row `Value`.
     match c {
-        Column::I64(v) => idx.sort_by(|&a, &b| v[a].cmp(&v[b])),
-        Column::F64(v) => idx.sort_by(|&a, &b| v[a].total_cmp(&v[b])),
-        Column::Str(v) => idx.sort_by(|&a, &b| v[a].cmp(&v[b])),
+        Column::I64(v) => idx.sort_by(|&a, &b| v[a as usize].cmp(&v[b as usize])),
+        Column::F64(v) => idx.sort_by(|&a, &b| v[a as usize].total_cmp(&v[b as usize])),
+        Column::Str(v) => idx.sort_by(|&a, &b| v[a as usize].cmp(&v[b as usize])),
     }
     if order == SortOrder::Desc {
         idx.reverse();
     }
     idx.truncate(limit);
-    t.take(&idx)
+    t.gather(&SelVec::Rows(idx))
 }
 
 /// `SELECT DISTINCT cols FROM t` — unique rows of the named columns, in
 /// first-appearance order.
+///
+/// Rows are deduplicated on the tuple of per-column [`Column::hash_row`]
+/// values (computed in bulk, one FNV per distinct string) through a
+/// deterministic open-addressing set — no `std` `RandomState` anywhere.
 pub fn distinct(t: &Table, cols: &[&str]) -> Table {
     let projected = t.project(cols);
-    let key_cols: Vec<&Column> = cols.iter().map(|c| projected.column_req(c)).collect();
-    let mut seen: HashSet<Vec<u64>> = HashSet::new();
-    let mut keep = Vec::new();
-    for row in 0..projected.num_rows() {
-        let key: Vec<u64> = key_cols.iter().map(|c| c.hash_row(row)).collect();
-        if seen.insert(key) {
-            keep.push(row);
+    let hashes: Vec<Vec<u64>> = projected.columns.iter().map(|c| c.hash_column()).collect();
+    let n = projected.num_rows();
+    let stride = hashes.len();
+    let mut seen = TupleIdMap::with_capacity(stride, n);
+    let mut keep: Vec<u32> = Vec::new();
+    let mut tuple: Vec<u64> = vec![0; stride];
+    for row in 0..n {
+        for (slot, h) in tuple.iter_mut().zip(&hashes) {
+            *slot = h[row];
+        }
+        if seen.insert_or_get(&tuple).1 {
+            keep.push(row as u32);
         }
     }
-    projected.take(&keep)
+    projected.gather(&SelVec::Rows(keep))
 }
 
 #[cfg(test)]
@@ -97,5 +108,29 @@ mod tests {
         );
         let d = distinct(&tab, &["a", "b"]);
         assert_eq!(d.num_rows(), 3);
+    }
+
+    #[test]
+    fn distinct_matches_reference() {
+        let tab = Table::new(
+            Schema::new(&[("a", DataType::I64), ("s", DataType::Str)]),
+            vec![
+                Column::I64(vec![1, 1, 2, 1, 2]),
+                Column::Str(vec![
+                    "x".into(),
+                    "y".into(),
+                    "x".into(),
+                    "x".into(),
+                    "x".into(),
+                ]),
+            ],
+        );
+        for cols in [&["a"][..], &["s"][..], &["a", "s"][..]] {
+            assert_eq!(
+                distinct(&tab, cols),
+                crate::reference::distinct_reference(&tab, cols),
+                "cols={cols:?}"
+            );
+        }
     }
 }

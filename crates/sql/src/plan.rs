@@ -19,6 +19,7 @@ use crate::datagen::Database;
 use crate::expr::Pred;
 use crate::ops::group_by::AggSpec;
 use crate::ops::{group_by, hash_join, sort_limit, SortOrder};
+use crate::selvec::SelVec;
 use crate::table::Table;
 use ditto_dag::{JobDag, StageId};
 use std::collections::BTreeMap;
@@ -134,15 +135,14 @@ impl QueryPlan {
                         &full
                     }
                 };
-                let filtered = match predicate {
-                    Some(p) => {
-                        let mask = p.eval(src);
-                        src.filter(&mask)
-                    }
-                    None => src.clone(),
+                // Fused filter+project through a selection vector: the
+                // unprojected filtered intermediate is never materialized.
+                let sel = match predicate {
+                    Some(p) => SelVec::from_mask(&p.eval(src)),
+                    None => SelVec::all(src.num_rows()),
                 };
                 let cols: Vec<&str> = projection.iter().map(|s| s.as_str()).collect();
-                filtered.project(&cols)
+                src.gather_project(&sel, &cols)
             }
             StageOp::Join {
                 left,
@@ -171,14 +171,13 @@ impl QueryPlan {
                 projection,
             } => {
                 let t = input_req(inputs, input, &self.name);
-                let mask = predicate.eval(t);
-                let filtered = t.filter(&mask);
+                let sel = SelVec::from_mask(&predicate.eval(t));
                 match projection {
                     Some(cols) => {
                         let refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
-                        filtered.project(&refs)
+                        t.gather_project(&sel, &refs)
                     }
-                    None => filtered,
+                    None => t.gather(&sel),
                 }
             }
             StageOp::SortLimit {

@@ -162,7 +162,8 @@ impl Table {
     }
 
     /// Split into `n` contiguous row chunks of near-equal size (for scan
-    /// parallelism). Later chunks may be one row smaller.
+    /// parallelism). Later chunks may be one row smaller. Each chunk is a
+    /// direct per-column range copy — no index vectors.
     pub fn split(&self, n: usize) -> Vec<Table> {
         assert!(n > 0);
         let rows = self.num_rows();
@@ -172,25 +173,97 @@ impl Table {
         let mut start = 0usize;
         for i in 0..n {
             let len = base + usize::from(i < rem);
-            let idx: Vec<usize> = (start..start + len).collect();
-            out.push(self.take(&idx));
+            out.push(Table {
+                schema: self.schema.clone(),
+                columns: self.columns.iter().map(|c| c.slice(start, len)).collect(),
+            });
             start += len;
         }
         out
     }
 
+    /// The bucket each row lands in under `hash_row(key) % n` — the
+    /// shuffle placement function, shared by [`Table::hash_partition`] and
+    /// [`Table::encode_partitions`] so both agree byte-for-byte.
+    fn bucket_ids(&self, key: &str, n: usize) -> Vec<u32> {
+        assert!(n > 0);
+        let col = self.column_req(key);
+        match col {
+            // Hash each distinct string once; map through the codes.
+            Column::Str(v) => {
+                let (dict, codes) = crate::dict::StrDict::encode_column(v);
+                let bucket_of: Vec<u32> = dict
+                    .entries()
+                    .iter()
+                    .map(|s| (crate::hash::fnv1a_bytes(s.as_bytes()) % n as u64) as u32)
+                    .collect();
+                codes.iter().map(|&c| bucket_of[c as usize]).collect()
+            }
+            _ => col
+                .hash_column()
+                .iter()
+                .map(|&h| (h % n as u64) as u32)
+                .collect(),
+        }
+    }
+
     /// Hash-partition rows into `n` buckets by the named key column —
     /// the shuffle partitioner: rows with equal keys land in the same
     /// bucket regardless of which task partitioned them.
+    ///
+    /// Single pass: hashes are computed once, every bucket column is sized
+    /// exactly, and rows scatter directly to their bucket (no index
+    /// vectors, no [`Table::take`]).
     pub fn hash_partition(&self, key: &str, n: usize) -> Vec<Table> {
-        assert!(n > 0);
-        let col = self.column_req(key);
-        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for row in 0..self.num_rows() {
-            let b = (col.hash_row(row) % n as u64) as usize;
-            buckets[b].push(row);
+        let ids = self.bucket_ids(key, n);
+        let mut counts = vec![0usize; n];
+        for &b in &ids {
+            counts[b as usize] += 1;
         }
-        buckets.into_iter().map(|idx| self.take(&idx)).collect()
+        let mut buckets: Vec<Vec<Column>> = (0..n)
+            .map(|_| Vec::with_capacity(self.num_columns()))
+            .collect();
+        for c in &self.columns {
+            match c {
+                Column::I64(v) => {
+                    let mut outs: Vec<Vec<i64>> =
+                        counts.iter().map(|&k| Vec::with_capacity(k)).collect();
+                    for (&b, &x) in ids.iter().zip(v) {
+                        outs[b as usize].push(x);
+                    }
+                    for (bucket, o) in buckets.iter_mut().zip(outs) {
+                        bucket.push(Column::I64(o));
+                    }
+                }
+                Column::F64(v) => {
+                    let mut outs: Vec<Vec<f64>> =
+                        counts.iter().map(|&k| Vec::with_capacity(k)).collect();
+                    for (&b, &x) in ids.iter().zip(v) {
+                        outs[b as usize].push(x);
+                    }
+                    for (bucket, o) in buckets.iter_mut().zip(outs) {
+                        bucket.push(Column::F64(o));
+                    }
+                }
+                Column::Str(v) => {
+                    let mut outs: Vec<Vec<String>> =
+                        counts.iter().map(|&k| Vec::with_capacity(k)).collect();
+                    for (&b, x) in ids.iter().zip(v) {
+                        outs[b as usize].push(x.clone());
+                    }
+                    for (bucket, o) in buckets.iter_mut().zip(outs) {
+                        bucket.push(Column::Str(o));
+                    }
+                }
+            }
+        }
+        buckets
+            .into_iter()
+            .map(|columns| Table {
+                schema: self.schema.clone(),
+                columns,
+            })
+            .collect()
     }
 
     /// Approximate in-memory size in bytes.
@@ -201,10 +274,20 @@ impl Table {
     // ------------------------------------------------------------------
     // Binary codec: how intermediate tables travel through the data plane.
     // Format: [ncols:u32] then per column: [name_len:u32][name][tag:u8]
-    // [nrows:u64][data...]; i64/f64 as LE words, strings length-prefixed.
+    // [nrows:u64][data...].
+    //
+    //   tag 0  i64    — nrows LE words, written as one bulk byte run
+    //   tag 1  f64    — nrows LE bit-patterns, bulk
+    //   tag 2  str    — length-prefixed cells (legacy v1; decode-only)
+    //   tag 3  str    — dictionary-encoded: [ndict:u32] then ndict
+    //                   length-prefixed entries, then nrows u32 LE codes
+    //
+    // Encoding emits tags 0/1/3; decoding accepts all four, so buffers
+    // written by the retained reference encoder still round-trip.
     // ------------------------------------------------------------------
 
-    /// Serialize to the compact binary wire format.
+    /// Serialize to the compact binary wire format (v2: bulk numerics,
+    /// dictionary-encoded strings — repeated cells ship once).
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.byte_size() as usize + 64);
         buf.put_u32_le(self.num_columns() as u32);
@@ -215,28 +298,243 @@ impl Table {
                 Column::I64(v) => {
                     buf.put_u8(0);
                     buf.put_u64_le(v.len() as u64);
-                    for x in v {
-                        buf.put_i64_le(*x);
-                    }
+                    put_words_le(&mut buf, v.iter().map(|&x| x as u64));
                 }
                 Column::F64(v) => {
                     buf.put_u8(1);
                     buf.put_u64_le(v.len() as u64);
-                    for x in v {
-                        buf.put_f64_le(*x);
-                    }
+                    put_words_le(&mut buf, v.iter().map(|x| x.to_bits()));
                 }
                 Column::Str(v) => {
-                    buf.put_u8(2);
+                    let (dict, codes) = crate::dict::StrDict::encode_column(v);
+                    buf.put_u8(3);
                     buf.put_u64_le(v.len() as u64);
-                    for s in v {
+                    buf.put_u32_le(dict.len() as u32);
+                    for s in dict.entries() {
                         buf.put_u32_le(s.len() as u32);
                         buf.put_slice(s.as_bytes());
                     }
+                    put_u32s_le(&mut buf, codes.iter().copied());
                 }
             }
         }
         buf.freeze()
+    }
+
+    /// Hash-partition by `key` and encode every bucket, without ever
+    /// materializing the bucket tables — the zero-copy shuffle path.
+    ///
+    /// `result[i].data` is byte-identical to
+    /// `self.hash_partition(key, n)[i].encode()`: hashes are computed once
+    /// per distinct key, numeric cells scatter straight into the wire
+    /// buffers, and string buckets get per-bucket sub-dictionaries (in
+    /// bucket first-appearance order) remapped from one full-column
+    /// dictionary pass — no `String` is cloned anywhere.
+    pub fn encode_partitions(&self, key: &str, n: usize) -> Vec<EncodedPartition> {
+        assert!(n > 0);
+        // Dictionary-encode every string column once, up front. The key
+        // column's dictionary doubles as the bucket router, so a string
+        // key is hashed once per *distinct* value, not once per row.
+        enum Pre<'a> {
+            I64(&'a [i64]),
+            F64(&'a [f64]),
+            Str {
+                dict: crate::dict::StrDict<'a>,
+                codes: Vec<u32>,
+            },
+        }
+        let pre: Vec<Pre<'_>> = self
+            .columns
+            .iter()
+            .map(|c| match c {
+                Column::I64(v) => Pre::I64(v),
+                Column::F64(v) => Pre::F64(v),
+                Column::Str(v) => {
+                    let (dict, codes) = crate::dict::StrDict::encode_column(v);
+                    Pre::Str { dict, codes }
+                }
+            })
+            .collect();
+        let key_idx = self
+            .schema
+            .index_of(key)
+            .unwrap_or_else(|| panic!("no column {key}"));
+        // Must agree with `bucket_ids` bucket-for-bucket (the audit for
+        // that is the fused-encode equivalence proptest).
+        let ids: Vec<u32> = match &pre[key_idx] {
+            Pre::Str { dict, codes } => {
+                let bucket_of: Vec<u32> = dict
+                    .entries()
+                    .iter()
+                    .map(|s| (crate::hash::fnv1a_bytes(s.as_bytes()) % n as u64) as u32)
+                    .collect();
+                codes.iter().map(|&c| bucket_of[c as usize]).collect()
+            }
+            _ => self.columns[key_idx]
+                .hash_column()
+                .iter()
+                .map(|&h| (h % n as u64) as u32)
+                .collect(),
+        };
+        let mut counts = vec![0usize; n];
+        for &b in &ids {
+            counts[b as usize] += 1;
+        }
+
+        // Scatter each string column's codes into per-bucket arrays, then
+        // remap every bucket to its sub-dictionary (global codes in
+        // first-appearance order — identical to what encoding the
+        // materialized bucket would produce). The stamp array is shared
+        // across buckets and columns; generations avoid clearing it.
+        struct StrScat {
+            /// Sub-dictionary per bucket: global codes in bucket
+            /// first-appearance order.
+            sub_entries: Vec<Vec<u32>>,
+            /// Per-bucket codes, remapped to the sub-dictionary.
+            codes: Vec<Vec<u32>>,
+            /// Pre-encoding string bytes per bucket.
+            logical: Vec<u64>,
+        }
+        let max_dict = pre
+            .iter()
+            .map(|p| match p {
+                Pre::Str { dict, .. } => dict.len(),
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        let mut stamp: Vec<u64> = vec![0; max_dict];
+        let mut sub_code: Vec<u32> = vec![0; max_dict];
+        let mut generation: u64 = 0;
+        let strs: Vec<Option<StrScat>> = pre
+            .iter()
+            .map(|p| {
+                let Pre::Str { dict, codes } = p else {
+                    return None;
+                };
+                let mut bcodes: Vec<Vec<u32>> =
+                    counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+                let mut logical = vec![0u64; n];
+                for (&c, &b) in codes.iter().zip(&ids) {
+                    bcodes[b as usize].push(c);
+                    // &str length lives in the fat pointer — no
+                    // string-data dereference here.
+                    logical[b as usize] += dict.get(c).len() as u64 + 8;
+                }
+                let mut subs: Vec<Vec<u32>> = Vec::with_capacity(n);
+                for bucket in bcodes.iter_mut() {
+                    generation += 1;
+                    let mut sub: Vec<u32> = Vec::new();
+                    for c in bucket.iter_mut() {
+                        let g = *c as usize;
+                        if stamp[g] != generation {
+                            stamp[g] = generation;
+                            sub_code[g] = sub.len() as u32;
+                            sub.push(g as u32);
+                        }
+                        *c = sub_code[g];
+                    }
+                    subs.push(sub);
+                }
+                Some(StrScat {
+                    sub_entries: subs,
+                    codes: bcodes,
+                    logical,
+                })
+            })
+            .collect();
+
+        // Lay out each bucket's frame: headers, string dictionaries and
+        // codes are written sequentially; word-column payload regions are
+        // zero-reserved and their offsets recorded, so the scatter below
+        // streams i64/f64 cells straight into the final wire buffers — no
+        // intermediate per-bucket word arrays.
+        let ncols = self.num_columns();
+        let mut bufs: Vec<Vec<u8>> = Vec::with_capacity(n);
+        let mut logicals = vec![0u64; n];
+        // Write cursor for word column `ci` in bucket `b`: `ci * n + b`.
+        let mut cursors = vec![0usize; ncols * n];
+        for b in 0..n {
+            let rows = counts[b];
+            let mut size = 4usize;
+            for (ci, f) in self.schema.fields.iter().enumerate() {
+                size += 4 + f.name.len() + 1 + 8;
+                size += match (&pre[ci], &strs[ci]) {
+                    (Pre::Str { dict, .. }, Some(s)) => {
+                        let entries: usize = s.sub_entries[b]
+                            .iter()
+                            .map(|&c| 4 + dict.get(c).len())
+                            .sum();
+                        4 + entries + rows * 4
+                    }
+                    _ => rows * 8,
+                };
+            }
+            let mut buf: Vec<u8> = Vec::with_capacity(size);
+            buf.extend_from_slice(&(ncols as u32).to_le_bytes());
+            for (ci, f) in self.schema.fields.iter().enumerate() {
+                buf.extend_from_slice(&(f.name.len() as u32).to_le_bytes());
+                buf.extend_from_slice(f.name.as_bytes());
+                match (&pre[ci], &strs[ci]) {
+                    (Pre::Str { dict, .. }, Some(s)) => {
+                        buf.push(3);
+                        buf.extend_from_slice(&(rows as u64).to_le_bytes());
+                        buf.extend_from_slice(&(s.sub_entries[b].len() as u32).to_le_bytes());
+                        for &c in &s.sub_entries[b] {
+                            let e = dict.get(c);
+                            buf.extend_from_slice(&(e.len() as u32).to_le_bytes());
+                            buf.extend_from_slice(e.as_bytes());
+                        }
+                        for &c in &s.codes[b] {
+                            buf.extend_from_slice(&c.to_le_bytes());
+                        }
+                        logicals[b] += s.logical[b];
+                    }
+                    (p, _) => {
+                        buf.push(match p {
+                            Pre::I64(_) => 0,
+                            Pre::F64(_) => 1,
+                            Pre::Str { .. } => unreachable!("string handled above"),
+                        });
+                        buf.extend_from_slice(&(rows as u64).to_le_bytes());
+                        cursors[ci * n + b] = buf.len();
+                        buf.resize(buf.len() + rows * 8, 0);
+                        logicals[b] += rows as u64 * 8;
+                    }
+                }
+            }
+            debug_assert_eq!(buf.len(), size, "frame size precompute diverged");
+            bufs.push(buf);
+        }
+        for (ci, p) in pre.iter().enumerate() {
+            let mut write = |bits: u64, b: u32| {
+                let cur = &mut cursors[ci * n + b as usize];
+                bufs[b as usize][*cur..*cur + 8].copy_from_slice(&bits.to_le_bytes());
+                *cur += 8;
+            };
+            match p {
+                Pre::I64(v) => {
+                    for (&x, &b) in v.iter().zip(&ids) {
+                        write(x as u64, b);
+                    }
+                }
+                Pre::F64(v) => {
+                    for (&x, &b) in v.iter().zip(&ids) {
+                        write(x.to_bits(), b);
+                    }
+                }
+                Pre::Str { .. } => {}
+            }
+        }
+        bufs.into_iter()
+            .zip(counts)
+            .zip(logicals)
+            .map(|((buf, rows), logical_bytes)| EncodedPartition {
+                data: Bytes::from(buf),
+                rows,
+                logical_bytes,
+            })
+            .collect()
     }
 
     /// Deserialize from the wire format, validating framing first.
@@ -291,6 +589,37 @@ impl Table {
                         pos += len;
                     }
                 }
+                3 => {
+                    need(pos, 4, "dictionary size")?;
+                    let ndict =
+                        u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+                    pos += 4;
+                    if ndict > nrows {
+                        return Err(format!(
+                            "dictionary larger than column: {ndict} entries, {nrows} rows"
+                        ));
+                    }
+                    for _ in 0..ndict {
+                        need(pos, 4, "dictionary entry length")?;
+                        let len =
+                            u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+                        pos += 4;
+                        need(pos, len, "dictionary entry")?;
+                        std::str::from_utf8(&buf[pos..pos + len])
+                            .map_err(|_| "dictionary entry is not UTF-8".to_string())?;
+                        pos += len;
+                    }
+                    need(pos, nrows.checked_mul(4).ok_or("row count overflow")?, "dictionary codes")?;
+                    for chunk in buf[pos..pos + nrows * 4].chunks_exact(4) {
+                        let code = u32::from_le_bytes(chunk.try_into().unwrap()) as usize;
+                        if code >= ndict {
+                            return Err(format!(
+                                "dictionary code {code} out of range (dictionary has {ndict})"
+                            ));
+                        }
+                    }
+                    pos += nrows * 4;
+                }
                 t => return Err(format!("unknown column tag {t}")),
             }
         }
@@ -316,17 +645,23 @@ impl Table {
             let nrows = data.get_u64_le() as usize;
             let (dtype, col) = match tag {
                 0 => {
-                    let mut v = Vec::with_capacity(nrows);
-                    for _ in 0..nrows {
-                        v.push(data.get_i64_le());
-                    }
+                    let raw = data.split_to(nrows * 8);
+                    let v = raw
+                        .chunks_exact(8)
+                        .map(|c| i64::from_le_bytes(c.try_into().expect("8-byte word")))
+                        .collect();
                     (DataType::I64, Column::I64(v))
                 }
                 1 => {
-                    let mut v = Vec::with_capacity(nrows);
-                    for _ in 0..nrows {
-                        v.push(data.get_f64_le());
-                    }
+                    let raw = data.split_to(nrows * 8);
+                    let v = raw
+                        .chunks_exact(8)
+                        .map(|c| {
+                            f64::from_bits(u64::from_le_bytes(
+                                c.try_into().expect("8-byte word"),
+                            ))
+                        })
+                        .collect();
                     (DataType::F64, Column::F64(v))
                 }
                 2 => {
@@ -337,6 +672,25 @@ impl Table {
                     }
                     (DataType::Str, Column::Str(v))
                 }
+                3 => {
+                    let ndict = data.get_u32_le() as usize;
+                    let mut dict = Vec::with_capacity(ndict);
+                    for _ in 0..ndict {
+                        let len = data.get_u32_le() as usize;
+                        dict.push(
+                            String::from_utf8(data.split_to(len).to_vec()).expect("utf8"),
+                        );
+                    }
+                    let raw = data.split_to(nrows * 4);
+                    let v = raw
+                        .chunks_exact(4)
+                        .map(|c| {
+                            let code = u32::from_le_bytes(c.try_into().expect("4-byte code"));
+                            dict[code as usize].clone()
+                        })
+                        .collect();
+                    (DataType::Str, Column::Str(v))
+                }
                 t => panic!("unknown column tag {t}"),
             };
             fields.push(Field { name, dtype });
@@ -344,6 +698,53 @@ impl Table {
         }
         Table::new(Schema { fields }, columns)
     }
+}
+
+/// One shuffle bucket produced by [`Table::encode_partitions`]: the wire
+/// bytes plus the accounting the data plane records.
+#[derive(Debug, Clone)]
+pub struct EncodedPartition {
+    /// The encoded bucket, byte-identical to materializing the bucket and
+    /// calling [`Table::encode`].
+    pub data: Bytes,
+    /// Rows in the bucket.
+    pub rows: usize,
+    /// Decoded (in-memory) size of the bucket per [`Table::byte_size`] —
+    /// what the dictionary encoding saved shows up as the gap between this
+    /// and `data.len()`.
+    pub logical_bytes: u64,
+}
+
+/// Write 64-bit LE words as one byte run, staged through a stack buffer so
+/// the `BytesMut` reserve/copy machinery runs once per 512 words instead of
+/// once per word.
+fn put_words_le(buf: &mut BytesMut, words: impl Iterator<Item = u64>) {
+    let mut tmp = [0u8; 8 * 512];
+    let mut fill = 0usize;
+    for w in words {
+        tmp[fill..fill + 8].copy_from_slice(&w.to_le_bytes());
+        fill += 8;
+        if fill == tmp.len() {
+            buf.put_slice(&tmp);
+            fill = 0;
+        }
+    }
+    buf.put_slice(&tmp[..fill]);
+}
+
+/// [`put_words_le`] for 32-bit values (dictionary codes).
+fn put_u32s_le(buf: &mut BytesMut, vals: impl Iterator<Item = u32>) {
+    let mut tmp = [0u8; 4 * 512];
+    let mut fill = 0usize;
+    for v in vals {
+        tmp[fill..fill + 4].copy_from_slice(&v.to_le_bytes());
+        fill += 4;
+        if fill == tmp.len() {
+            buf.put_slice(&tmp);
+            fill = 0;
+        }
+    }
+    buf.put_slice(&tmp[..fill]);
 }
 
 impl fmt::Display for Table {
@@ -489,6 +890,98 @@ mod tests {
         let back = Table::decode(t.encode());
         assert_eq!(back.num_rows(), 0);
         assert_eq!(back.schema, t.schema);
+    }
+
+    #[test]
+    fn dict_codec_rejects_out_of_range_codes() {
+        let t = Table::new(
+            Schema::new(&[("s", DataType::Str)]),
+            vec![Column::Str(vec!["aa".into(), "bb".into(), "aa".into()])],
+        );
+        let good = t.encode();
+        assert_eq!(Table::try_decode(good.clone()).unwrap(), t);
+        // Layout: ncols(4) name_len(4) "s"(1) tag(1) nrows(8) ndict(4)
+        // entry "aa"(4+2) entry "bb"(4+2) codes(3*4). Corrupt the last
+        // code (bytes -4..) to an out-of-range value.
+        let mut corrupt = good.to_vec();
+        let n = corrupt.len();
+        corrupt[n - 4..].copy_from_slice(&99u32.to_le_bytes());
+        let err = Table::try_decode(Bytes::from(corrupt)).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        // A dictionary claiming more entries than rows is rejected.
+        let mut bad_dict = good.to_vec();
+        bad_dict[18..22].copy_from_slice(&200u32.to_le_bytes());
+        assert!(Table::try_decode(Bytes::from(bad_dict)).is_err());
+    }
+
+    #[test]
+    fn dict_encoding_shrinks_repetitive_columns() {
+        // v1 (reference) buffers still decode — tag 2 is kept — and the
+        // v2 dictionary format is smaller on repetitive string columns.
+        let names = ["Tennessee", "California", "New York"];
+        let states: Vec<String> = (0..100).map(|i| names[i % 3].to_string()).collect();
+        let t = Table::new(
+            Schema::new(&[("st", DataType::Str)]),
+            vec![Column::Str(states)],
+        );
+        let v1 = crate::reference::encode_reference(&t);
+        let v2 = t.encode();
+        assert!(v2.len() < v1.len(), "v2 {} >= v1 {}", v2.len(), v1.len());
+        assert_eq!(Table::decode(v1), t);
+        assert_eq!(Table::decode(v2), t);
+    }
+
+    #[test]
+    fn encode_partitions_matches_materialized_encode() {
+        let t = sample();
+        for n in [1, 2, 3, 7] {
+            let parts = t.hash_partition("st", n);
+            let enc = t.encode_partitions("st", n);
+            assert_eq!(enc.len(), n);
+            for (p, e) in parts.iter().zip(&enc) {
+                assert_eq!(e.data, p.encode(), "n={n}");
+                assert_eq!(e.rows, p.num_rows());
+                assert_eq!(e.logical_bytes, p.byte_size());
+            }
+        }
+    }
+
+    #[test]
+    fn encode_partitions_on_numeric_key_and_empty_table() {
+        let t = sample();
+        let enc = t.encode_partitions("id", 4);
+        let parts = t.hash_partition("id", 4);
+        for (p, e) in parts.iter().zip(&enc) {
+            assert_eq!(e.data, p.encode());
+        }
+        let empty = Table::empty(t.schema.clone());
+        let enc = empty.encode_partitions("st", 3);
+        for (p, e) in empty.hash_partition("st", 3).iter().zip(&enc) {
+            assert_eq!(e.data, p.encode());
+            assert_eq!(e.rows, 0);
+        }
+    }
+
+    #[test]
+    fn split_slices_match_reference() {
+        let t = sample();
+        for n in [1, 2, 3, 4, 9] {
+            assert_eq!(t.split(n), crate::reference::split_reference(&t, n));
+        }
+    }
+
+    #[test]
+    fn hash_partition_matches_reference() {
+        let t = sample();
+        for key in ["id", "amt", "st"] {
+            for n in [1, 2, 5] {
+                assert_eq!(
+                    t.hash_partition(key, n),
+                    crate::reference::hash_partition_reference(&t, key, n),
+                    "key={key} n={n}"
+                );
+            }
+        }
     }
 
     #[test]

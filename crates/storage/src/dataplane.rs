@@ -91,6 +91,11 @@ pub struct MediumLedger {
     pub transfers: u64,
     /// Accrued persistence cost (price · GB · s).
     pub persistence_cost: f64,
+    /// Pre-encoding (logical) size of the transferred tables. The gap to
+    /// `bytes_in` is what the columnar codec saved on the wire —
+    /// dictionary-encoded string columns make wire bytes smaller than the
+    /// in-memory table they carry.
+    pub logical_bytes: u64,
 }
 
 /// Ledger over all three media.
@@ -229,14 +234,24 @@ impl DataPlane {
         TransferModel::for_medium(self.medium_between(src_server, dst_server)).transfer_time(bytes)
     }
 
-    /// Record a (simulated or physical) transfer in the ledger.
+    /// Record a (simulated or physical) transfer in the ledger. The
+    /// logical size defaults to the wire size; callers that know the
+    /// pre-encoding table size use [`Self::record_transfer_sized`].
     pub fn record_transfer(&self, medium: Medium, bytes: u64) {
+        self.record_transfer_sized(medium, bytes, bytes);
+    }
+
+    /// Record a transfer whose wire size (`bytes`) differs from the
+    /// logical table size it carries (`logical_bytes`) — the codec's
+    /// compression shows up as the gap between the two ledger columns.
+    pub fn record_transfer_sized(&self, medium: Medium, bytes: u64, logical_bytes: u64) {
         {
             let mut l = self.ledger.lock();
             let m = l.for_medium_mut(medium);
             m.bytes_in += bytes;
             m.bytes_out += bytes;
             m.transfers += 1;
+            m.logical_bytes += logical_bytes;
         }
         if let Some(obs) = self.obs.lock().as_ref() {
             if obs.is_enabled() {
@@ -277,6 +292,24 @@ impl DataPlane {
         data: Bytes,
     ) -> Result<(), StoreError> {
         let bytes = data.len() as u64;
+        self.send_partition_sized(edge, from_task, to_task, src_server, dst_server, data, bytes)
+    }
+
+    /// [`Self::send_partition`] with an explicit logical (pre-encoding)
+    /// size, for producers that track how many table bytes the encoded
+    /// frame represents.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_partition_sized(
+        &self,
+        edge: u32,
+        from_task: u32,
+        to_task: u32,
+        src_server: usize,
+        dst_server: usize,
+        data: Bytes,
+        logical_bytes: u64,
+    ) -> Result<(), StoreError> {
+        let bytes = data.len() as u64;
         let medium = self.medium_between(src_server, dst_server);
         match medium {
             Medium::SharedMemory => {
@@ -286,7 +319,7 @@ impl DataPlane {
                 self.external.put(partition_key(edge, from_task, to_task), data)?;
             }
         }
-        self.record_transfer(medium, bytes);
+        self.record_transfer_sized(medium, bytes, logical_bytes);
         Ok(())
     }
 
@@ -501,6 +534,20 @@ mod tests {
             let b = p.backoff("some/key", a);
             assert!(b > 0.0 && b <= 0.05 * (1.0 + p.jitter), "attempt {a}: {b}");
         }
+    }
+
+    #[test]
+    fn sized_sends_track_logical_bytes_separately() {
+        let dp = DataPlane::new(Medium::S3, 2);
+        // 3 wire bytes carrying a 10-byte logical table (compressed), plus
+        // an unsized send where logical defaults to wire size.
+        dp.send_partition_sized(0, 0, 0, 0, 1, Bytes::from_static(b"abc"), 10)
+            .unwrap();
+        dp.send_partition(0, 0, 1, 0, 1, Bytes::from_static(b"defg")).unwrap();
+        let l = dp.ledger();
+        assert_eq!(l.s3.bytes_in, 7);
+        assert_eq!(l.s3.logical_bytes, 14);
+        assert_eq!(l.s3.transfers, 2);
     }
 
     #[test]

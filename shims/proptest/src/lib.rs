@@ -434,7 +434,7 @@ mod tests {
         }
 
         #[test]
-        fn oneof_covers_arms(x in prop_oneof![(0i64..3), (10i64..13)]) {
+        fn oneof_covers_arms(x in prop_oneof![0i64..3, 10i64..13]) {
             prop_assert!((0..3).contains(&x) || (10..13).contains(&x));
         }
 
