@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p ditto-audit --bin ditto-lint            # scan, exit 1 on findings
 //! cargo run -p ditto-audit --bin ditto-lint -- --list  # include allowed sites
+//! cargo run -p ditto-audit --bin ditto-lint -- --json  # machine-readable report
 //! ```
 //!
 //! Scans every non-test, non-bin `.rs` file of the workspace for the
@@ -12,11 +13,12 @@
 //! (matching nothing) are reported as warnings so the file tracks the
 //! tree.
 
-use ditto_audit::lint::{lint_workspace, Allowlist};
+use ditto_audit::lint::{lint_to_json, lint_workspace, Allowlist};
 use std::path::PathBuf;
 
 fn main() {
     let list_allowed = std::env::args().any(|a| a == "--list");
+    let json = std::env::args().any(|a| a == "--json");
 
     // The binary lives at crates/audit; the workspace root is two up.
     let root = match std::env::var("DITTO_WORKSPACE_ROOT") {
@@ -48,6 +50,12 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if json {
+        println!("{}", lint_to_json(&findings, &allow));
+        let violations = findings.iter().filter(|f| !f.allowed).count();
+        std::process::exit(if violations > 0 { 1 } else { 0 });
+    }
 
     let mut violations = 0usize;
     let mut allowed = 0usize;

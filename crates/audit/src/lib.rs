@@ -1,8 +1,8 @@
 #![warn(missing_docs)]
 
-//! # ditto-audit — certificate-based schedule verification + determinism lint
+//! # ditto-audit — schedule certificates, determinism lint, race detection
 //!
-//! Two independent correctness tools for the Ditto reproduction:
+//! Three independent correctness tools for the Ditto reproduction:
 //!
 //! 1. **The schedule auditor** ([`audit`]): a pure function
 //!    `audit(dag, time_model, cluster, schedule)` that re-derives the
@@ -21,6 +21,15 @@
 //!    sources that flags nondeterminism and panic hazards in non-test
 //!    scheduler/exec code, with an `audit.allow` file for justified
 //!    sites.
+//!
+//! 3. **The happens-before race checker** ([`hb`], [`race`],
+//!    `ditto-audit race <trace>`): rebuilds the intended ordering of an
+//!    executor run from the `hb.*` events on its `ditto-obs` trace,
+//!    assigns vector clocks, and grades recorded timestamps against it —
+//!    read-before-write, missing writes, slot over-subscription,
+//!    cross-server shared-memory use, replan-seam bypasses and stale
+//!    lineage reads, each a typed [`RaceFinding`] with (stage, task,
+//!    server, object) provenance.
 //!
 //! The auditor deliberately does **not** call `joint_optimize` or
 //! `compute_dop`'s rounding: a scheduler bug must not be able to vouch
@@ -46,11 +55,15 @@
 //! ```
 
 pub mod checks;
+pub mod hb;
 pub mod lint;
+pub mod race;
 pub mod report;
 
 pub use checks::{
     audit, audit_model, audit_placement, audit_ratios, audit_splice, audit_structure,
     audit_with, derive_fractional_dops, AuditOptions,
 };
+pub use hb::{EdgeRule, HbEdge, HbGraph, Op, OpKind};
+pub use race::{check_trace, RaceFinding, RaceOptions, RaceReport, RaceRule};
 pub use report::{AuditFinding, AuditReport, CheckId, Severity};

@@ -418,6 +418,62 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io:
     Ok(())
 }
 
+/// The lint result as a JSON document with stable field order:
+/// `summary` first (counts), then `findings` and `stale` arrays in
+/// discovery order. This is what `ditto-lint --json` prints, so CI and
+/// editor integrations can consume findings without scraping the
+/// human-readable lines.
+pub fn lint_to_json(findings: &[LintFinding], allow: &Allowlist) -> String {
+    use crate::report::json_escape;
+    use std::fmt::Write as _;
+    let violations = findings.iter().filter(|f| !f.allowed).count();
+    let stale = allow.stale();
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"findings_total\":{},\"violations\":{},\"allowed\":{},\"allow_entries\":{},\"stale_entries\":{},\"findings\":[",
+        findings.len(),
+        violations,
+        findings.len() - violations,
+        allow.entries.len(),
+        stale.len()
+    );
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"text\":\"{}\",\"allowed\":{}",
+            f.rule.code(),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.text),
+            f.allowed
+        );
+        if let Some(r) = &f.reason {
+            let _ = write!(out, ",\"reason\":\"{}\"", json_escape(r));
+        }
+        out.push('}');
+    }
+    out.push_str("],\"stale\":[");
+    for (i, e) in stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"needle\":\"{}\",\"reason\":\"{}\"}}",
+            json_escape(&e.rule),
+            json_escape(&e.path),
+            json_escape(&e.needle),
+            json_escape(&e.reason)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,6 +481,34 @@ mod tests {
     fn run(rel: &str, src: &str) -> Vec<LintFinding> {
         let mut allow = Allowlist::default();
         lint_source(rel, src, &mut allow)
+    }
+
+    #[test]
+    fn json_output_round_trips_through_serde_json() {
+        let src = "fn f(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+        let mut allow = Allowlist::parse(
+            "DET02|crates/sql/src/ops/sort.rs|partial_cmp|\"quoted\" reason\nDET01|nowhere|x|stale entry\n",
+        )
+        .unwrap();
+        let findings = lint_source("crates/sql/src/ops/sort.rs", src, &mut allow);
+        let json = lint_to_json(&findings, &allow);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("lint JSON must parse");
+        assert_eq!(v.get("findings_total").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(v.get("violations").and_then(|x| x.as_u64()), Some(0));
+        assert_eq!(v.get("allowed").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(v.get("stale_entries").and_then(|x| x.as_u64()), Some(1));
+        let f = &v.get("findings").and_then(|x| x.as_array()).unwrap()[0];
+        assert_eq!(f.get("rule").and_then(|x| x.as_str()), Some("DET02"));
+        assert_eq!(f.get("allowed").and_then(|x| x.as_bool()), Some(true));
+        assert_eq!(
+            f.get("reason").and_then(|x| x.as_str()),
+            Some("\"quoted\" reason"),
+            "escaped quotes must survive the round trip"
+        );
+        let s = &v.get("stale").and_then(|x| x.as_array()).unwrap()[0];
+        assert_eq!(s.get("path").and_then(|x| x.as_str()), Some("nowhere"));
+        // Stable field order: summary keys lead the document.
+        assert!(json.starts_with("{\"findings_total\":"), "{json}");
     }
 
     #[test]

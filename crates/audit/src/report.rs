@@ -249,7 +249,7 @@ impl AuditReport {
 }
 
 /// Escape a string for embedding in a JSON document.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -8,6 +8,7 @@
 //! cargo run --release -p ditto-bench --bin figures -- sched        # writes BENCH_sched.json
 //! cargo run --release -p ditto-bench --bin figures -- sqlbench     # writes BENCH_sql.json
 //! cargo run --release -p ditto-bench --bin figures -- regress      # gate vs BENCH_HISTORY.jsonl
+//! cargo run --release -p ditto-bench --bin figures -- race         # hb race certify + model check
 //! ```
 //!
 //! `sched` (and its CI subset `sched-smoke`) is not part of `all`: the
@@ -241,6 +242,30 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            // Race-freedom gate: certify the fixed-seed traced scenarios
+            // through the happens-before checker (real slot capacities),
+            // then model-check tie-break invariance on seeded random
+            // DAGs. `race` runs the full 16-DAG bar, `race-smoke` the CI
+            // subset. Exits nonzero on any finding or divergence.
+            "race" | "race-smoke" => {
+                let rows = ditto_bench::race_certify();
+                emit(&rows, json);
+                let dirty = rows.iter().filter(|r| !r.clean).count();
+                let dags = if t == "race" { 16 } else { 4 };
+                let explored = ditto_bench::race_explore(dags);
+                emit(&explored, json);
+                let diverged = explored.iter().filter(|r| r.divergent).count();
+                println!(
+                    "race: {} traces certified ({} with errors), {} DAGs model-checked ({} divergent)",
+                    rows.len(),
+                    dirty,
+                    explored.len(),
+                    diverged
+                );
+                if dirty > 0 || diverged > 0 {
+                    std::process::exit(1);
+                }
+            }
             // Regression gate: replay the deterministic experiments and
             // compare against BENCH_HISTORY.jsonl. `--record-only` seeds
             // history without judging. Exits 1 on any regression.
@@ -294,7 +319,7 @@ fn main() {
                 );
             }
             other => eprintln!(
-                "unknown target {other:?}; known: {all:?} (+ \"sched\", \"sched-smoke\", \"sqlbench\", \"sqlbench-smoke\", \"adapt\", \"adapt-smoke\", \"regress\" — not in `all`)"
+                "unknown target {other:?}; known: {all:?} (+ \"sched\", \"sched-smoke\", \"sqlbench\", \"sqlbench-smoke\", \"adapt\", \"adapt-smoke\", \"race\", \"race-smoke\", \"regress\" — not in `all`)"
             ),
         }
     }

@@ -22,6 +22,7 @@ pub mod adapt;
 pub mod audit_sweep;
 pub mod experiments;
 pub mod history;
+pub mod race_sweep;
 pub mod report;
 pub mod sched_bench;
 pub mod setup;
@@ -38,6 +39,7 @@ pub use history::{
     MetricVerdict, RegressOptions, RegressReport,
 };
 pub use experiments::*;
+pub use race_sweep::{race_certify, race_explore, RaceExploreRow, RaceSweepRow};
 pub use report::{render_rows, write_json};
 pub use sched_bench::{sched_bench, sched_bench_sizes, sched_bench_smoke, SchedBenchRow};
 pub use setup::{prepare, PreparedQuery, VOLUME_SCALE};

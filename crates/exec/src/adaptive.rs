@@ -37,14 +37,15 @@
 
 use crate::error::ExecError;
 use crate::faults::{
-    finish_pass, sim_stage, FaultPlan, RecoveryPolicy, ReschedulingContext, SimState,
+    finish_pass, ready_time, sim_stage, FaultPlan, RecoveryPolicy, ReschedulingContext, SimState,
 };
 use crate::groundtruth::GroundTruth;
 use crate::metrics::JobMetrics;
+use crate::queue::{ReadyQueue, TieBreak};
 use crate::trace::ExecutionTrace;
 use ditto_cluster::{DriftConfig, DriftDetector, ServerId};
 use ditto_core::{joint_optimize_traced, predicted_jct, Schedule};
-use ditto_dag::JobDag;
+use ditto_dag::{JobDag, StageId};
 use ditto_obs::{Recorder, StepTimings, Track};
 use ditto_timemodel::{ModelCorrections, StepCorrections};
 
@@ -58,9 +59,12 @@ pub struct AdaptiveConfig {
     /// Maximum suffix replans per run (each one re-runs the joint
     /// optimizer; unbounded replanning on a noisy signal would thrash).
     pub max_replans: u32,
-    /// Re-arm threshold: after a replan, the next one requires the
-    /// smoothed drift factor to have moved by at least this relative
-    /// amount — a constant drift must not re-trigger on every stage.
+    /// Re-arm threshold: after a replan decision, the next one requires
+    /// the smoothed drift factor to have moved by at least this relative
+    /// amount *or* further stages to have completed since — a constant
+    /// drift must not re-trigger on every task of the same front, but
+    /// job progress at a flat factor is still new information (the last
+    /// evaluation priced a splice over stages that are now pinned).
     pub re_arm: f64,
     /// Minimum *relative* predicted-JCT improvement before a replan is
     /// applied. The corrected model is still a model: its own error under
@@ -147,6 +151,24 @@ pub fn try_simulate_adaptive(
     ctx: &ReschedulingContext<'_>,
     cfg: &AdaptiveConfig,
 ) -> Result<(ExecutionTrace, JobMetrics), ExecError> {
+    // Debug builds run traced and gate the event stream through the race
+    // checker: replan splices and lineage recoveries are exactly where
+    // ordering hazards would creep in. Same fidelity either way — the
+    // telemetry tests pin traced and untraced runs to identical metrics.
+    #[cfg(debug_assertions)]
+    {
+        let obs = Recorder::new();
+        let out = try_simulate_adaptive_traced(dag, schedule, gt, plan, policy, ctx, cfg, &obs)?;
+        let race =
+            ditto_audit::check_trace(&obs.finish(), &ditto_audit::RaceOptions::default());
+        debug_assert!(
+            race.is_clean(),
+            "race checker rejected try_simulate_adaptive's own trace:\n{}",
+            race.render()
+        );
+        Ok(out)
+    }
+    #[cfg(not(debug_assertions))]
     try_simulate_adaptive_traced(dag, schedule, gt, plan, policy, ctx, cfg, &Recorder::disabled())
 }
 
@@ -164,6 +186,38 @@ pub fn try_simulate_adaptive_traced(
     cfg: &AdaptiveConfig,
     obs: &Recorder,
 ) -> Result<(ExecutionTrace, JobMetrics), ExecError> {
+    try_simulate_adaptive_tie(
+        dag,
+        schedule,
+        gt,
+        plan,
+        policy,
+        ctx,
+        cfg,
+        obs,
+        &mut TieBreak::canonical(),
+    )
+}
+
+/// [`try_simulate_adaptive_traced`] under an explicit tie-break
+/// controller. Stages simulate in (ready time, controller choice) order;
+/// drift observation and replan decisions run at **batch boundaries** —
+/// only after every member of a simultaneous-event batch has simulated,
+/// and then in stage-id order — so the decision sequence sees an
+/// order-invariant simulation state no matter how the controller
+/// sequenced the batch. The model checker relies on exactly this.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_simulate_adaptive_tie(
+    dag: &JobDag,
+    schedule: &Schedule,
+    gt: &GroundTruth,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+    ctx: &ReschedulingContext<'_>,
+    cfg: &AdaptiveConfig,
+    obs: &Recorder,
+    tie: &mut TieBreak,
+) -> Result<(ExecutionTrace, JobMetrics), ExecError> {
     schedule.validate(dag).map_err(ExecError::InvalidSchedule)?;
     let n = dag.num_stages();
     let order = dag.topo_order().map_err(|_| ExecError::CyclicDag)?;
@@ -178,50 +232,90 @@ pub fn try_simulate_adaptive_traced(
     let mut detector = DriftDetector::with_classes(&class_of, cfg.drift);
     let mut cur = schedule.clone();
     let mut replans: Vec<ReplanRecord> = Vec::new();
-    let mut last_factor: Option<f64> = None;
+    let mut last_decision: Option<(f64, usize)> = None;
     let mut reexecs_seen = 0u32;
+    let mut simulated = vec![false; n];
 
-    for (pos, &s) in order.iter().enumerate() {
-        sim_stage(&mut state, dag, &cur, gt, plan, policy, obs, s)?;
+    // Ready-queue execution: pop stages in (ready time, tie) order; a run
+    // of bit-equal ready times is one simultaneous-event batch. The batch
+    // simulates in the controller's order, then drift observation and
+    // replan decisions flush in stage-id order over the completed batch.
+    let mut queue = ReadyQueue::new(dag);
+    let mut pending = queue.pop(tie);
+    while let Some((batch_ready, first)) = pending {
+        let mut batch: Vec<StageId> = Vec::new();
+        let mut next = Some((batch_ready, first));
+        loop {
+            match next {
+                Some((r, s)) if r == batch_ready => {
+                    sim_stage(&mut state, dag, &cur, gt, plan, policy, obs, s)?;
+                    queue.complete(dag, s, |c| ready_time(&state, dag, c));
+                    batch.push(s);
+                    next = queue.pop(tie);
+                }
+                other => {
+                    pending = other;
+                    break;
+                }
+            }
+        }
+        batch.sort_unstable();
+        for &s in &batch {
+            simulated[s.index()] = true;
+        }
+        for &s in &batch {
         let event = detector.observe(
             s.0,
             &state.stage_observed[s.index()],
             &state.stage_clean[s.index()],
         );
-        let new_reexecs = state.stats.lineage_reexecs - reexecs_seen;
-        reexecs_seen = state.stats.lineage_reexecs;
+        let totals = state.total_stats();
+        let new_reexecs = totals.lineage_reexecs - reexecs_seen;
+        reexecs_seen = totals.lineage_reexecs;
         let Some(ev) = event else { continue };
         // Every band exceedance is recorded — including ones the budget
         // or re-arm gates below swallow — so the scorecard can annotate
         // post-drift predictor samples even when no replan fired.
         ev.record(obs, state.stage_end[s.index()]);
-        // Gates: replan budget, and re-arm (a constant drift level must
-        // not re-trigger a replan after every stage).
+        // Gates: replan budget (each decision below re-runs the joint
+        // optimizer; unbounded replanning on a noisy signal would
+        // thrash), then re-arm. A constant drift level must not
+        // re-trigger the optimizer after every stage — but only while the
+        // *decision state* is also unchanged. Stages completing in
+        // ready-time order report similar factors back to back (all the
+        // scans, then all the joins), and job progress is new information
+        // even at a flat factor: the last evaluation priced a splice over
+        // stages that have since launched or pinned. Swallow the event
+        // only when neither the smoothed factor nor the unsimulated
+        // remainder has moved since the last decision — the remainder is
+        // batch-constant and order-invariant, so the model checker's
+        // tie-break permutations see the same gate outcomes.
         if replans.len() >= cfg.max_replans as usize {
             continue;
         }
-        if let Some(lf) = last_factor {
-            if ((ev.factor - lf) / lf).abs() < cfg.re_arm {
+        let remaining = simulated.iter().filter(|&&b| !b).count();
+        if let Some((lf, ln)) = last_decision {
+            if ((ev.factor - lf) / lf).abs() < cfg.re_arm && remaining == ln {
                 continue;
             }
         }
         let now = state.stage_end[s.index()];
         // The elastic suffix: stages that cannot have *launched* yet.
-        // Topo position is not enough — a later source stage (a second
-        // table scan) launched at t=0 and may already be finished by
-        // `now`; re-doping it would be time travel, and splicing it out
-        // of its group externalizes edges whose data already moved
-        // through shared memory. A stage is replannable iff its JIT
-        // launch is gated behind `now`: some producer is itself
+        // Not-yet-simulated is not enough — a source stage still queued
+        // (a second table scan) launched at t=0 and may already be
+        // finished by `now`; re-doping it would be time travel, and
+        // splicing it out of its group externalizes edges whose data
+        // already moved through shared memory. A stage is replannable iff
+        // its JIT launch is gated behind `now`: some producer is itself
         // replannable, or already simulated with its end at/after `now`
         // (still in flight counts). Everything else is frozen at its
-        // incumbent DoP and placement.
-        let mut simulated = vec![false; n];
-        for &t in &order[..=pos] {
-            simulated[t.index()] = true;
-        }
+        // incumbent DoP and placement. (Iterated in topo order so a
+        // producer's suffix membership is settled before its consumers'.)
         let mut suffix = vec![false; n];
-        for &t in &order[pos + 1..] {
+        for &t in &order {
+            if simulated[t.index()] {
+                continue;
+            }
             suffix[t.index()] = dag.in_edges(t).any(|e| {
                 let p = e.src.index();
                 suffix[p] || (simulated[p] && state.stage_end[p] >= now - 1e-9)
@@ -278,25 +372,21 @@ pub fn try_simulate_adaptive_traced(
                 rm.fail_server(failed.index());
             }
         }
-        for &p in &order[..=pos] {
-            if state.stage_end[p.index()] <= now {
-                continue; // finished; its slots are free again
-            }
-            for t in 0..cur.dop[p.index()] {
-                let srv: ServerId = cur.placement[p.index()].server_of_task(t);
-                if rm.free_on(srv) > 0 {
-                    let _ = rm.reserve(srv, 1);
-                }
-            }
-        }
-        // Frozen-but-unsimulated stages (launched before `now`, end not
-        // yet known): conservatively assume they still hold their slots.
-        for &p in &order[pos + 1..] {
-            if suffix[p.index()] {
+        // Slot deduction, in stage-id order (the order-invariant one):
+        // simulated stages still in flight at `now` hold their slots;
+        // frozen-but-unsimulated stages (launched before `now`, end not
+        // yet known) are conservatively assumed to hold theirs too.
+        for i in 0..n {
+            let holds = if simulated[i] {
+                state.stage_end[i] > now
+            } else {
+                !suffix[i]
+            };
+            if !holds {
                 continue;
             }
-            for t in 0..cur.dop[p.index()] {
-                let srv: ServerId = cur.placement[p.index()].server_of_task(t);
+            for t in 0..cur.dop[i] {
+                let srv: ServerId = cur.placement[i].server_of_task(t);
                 if rm.free_on(srv) > 0 {
                     let _ = rm.reserve(srv, 1);
                 }
@@ -333,18 +423,18 @@ pub fn try_simulate_adaptive_traced(
         // rate. Estimate the per-read loss rate and mean recovery delay
         // from this run's own observations and charge each plan its
         // expected recovery delay before comparing.
-        let recoveries = state.stats.object_losses + state.stats.object_corruptions;
+        let recoveries = totals.object_losses + totals.object_corruptions;
         let (old_risk, new_risk) = if recoveries > 0 {
             let mut reads_seen: u64 = 0;
-            for &t in &order[..=pos] {
-                for e in dag.in_edges(t) {
+            for (i, _) in simulated.iter().enumerate().filter(|(_, &s)| s) {
+                for e in dag.in_edges(StageId(i as u32)) {
                     if !cur.colocated[e.id.index()] {
-                        reads_seen += u64::from(cur.dop[t.index()]);
+                        reads_seen += u64::from(cur.dop[i]);
                     }
                 }
             }
             let p_loss = (f64::from(recoveries) / reads_seen.max(1) as f64).min(1.0);
-            let avg_rec = state.stats.recovery_delay_s / f64::from(recoveries);
+            let avg_rec = totals.recovery_delay_s / f64::from(recoveries);
             (
                 expected_recovery_delay(dag, &cur, &suffix, p_loss, avg_rec),
                 expected_recovery_delay(dag, &spliced, &suffix, p_loss, avg_rec),
@@ -398,10 +488,32 @@ pub fn try_simulate_adaptive_traced(
             audit_clean,
             applied,
         });
-        last_factor = Some(ev.factor);
+        last_decision = Some((ev.factor, remaining));
         if applied {
+            if obs.is_enabled() {
+                // Seam edges of the applied splice: prefix producer →
+                // replanned consumer. The race checker pins seam reads to
+                // this instant — a consumer streaming through shared
+                // memory across a seam would be reading state the
+                // replanned placement no longer guarantees.
+                for e in dag.edges() {
+                    if !suffix[e.src.index()] && suffix[e.dst.index()] {
+                        obs.event(
+                            "hb.seam",
+                            Track::scheduler(0),
+                            now,
+                            vec![
+                                ("edge", (e.id.index() as u64).into()),
+                                ("src_stage", e.src.0.into()),
+                                ("dst_stage", e.dst.0.into()),
+                            ],
+                        );
+                    }
+                }
+            }
             state.stats.rescheduled_stages += n_suffix as u32;
             cur = spliced;
+        }
         }
     }
 

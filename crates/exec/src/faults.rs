@@ -28,6 +28,7 @@
 use crate::error::ExecError;
 use crate::groundtruth::GroundTruth;
 use crate::metrics::JobMetrics;
+use crate::queue::{ReadyQueue, TieBreak};
 use crate::trace::{ExecutionTrace, TaskTrace};
 use ditto_cluster::{ResourceManager, ServerId};
 use ditto_core::{joint_optimize_traced, JointOptions, Objective, Schedule};
@@ -506,6 +507,11 @@ pub struct AttemptRecord {
     /// Billed-but-discarded work: memory × runtime for non-completed
     /// attempts, GB·s.
     pub wasted_gb_s: f64,
+    /// Whether this execution was a speculative backup copy. Speculative
+    /// copies run *in addition to* the original without reserving a slot
+    /// (the engine's documented simplification), so the race checker
+    /// grades their concurrent occupancy as a warning, not an error.
+    pub speculative: bool,
 }
 
 /// Aggregated fault statistics of one run.
@@ -718,11 +724,23 @@ pub(crate) struct SimState {
     /// Exchange medium per edge, recorded when the consumer stage runs
     /// (the schedule may change mid-run under the adaptive engine).
     pub(crate) edge_medium: Vec<Option<Medium>>,
-    /// Producer tasks already healed by lineage re-execution — only the
-    /// first reader pays; the regenerated object serves everyone else.
-    pub(crate) recovered: std::collections::BTreeSet<(u32, u32)>,
+    /// Lineage healing in flight: `(stage, task)` of a faulted producer →
+    /// the sim time its regenerated object becomes available. The first
+    /// reader (earliest ready; queue order guarantees it) pays the
+    /// re-execution and sets the entry; any reader arriving before
+    /// `heal_end` waits for the remainder instead of reading the stale
+    /// object.
+    pub(crate) heal_end: std::collections::BTreeMap<(u32, u32), f64>,
     pub(crate) trace: ExecutionTrace,
+    /// Run-level accounting not attributable to one stage (server
+    /// failures, replan counts, physical storage retries).
     pub(crate) stats: FaultStats,
+    /// Per-stage fault accounting, folded in stage-id order by
+    /// [`Self::total_stats`] so the totals are independent of the order
+    /// simultaneous stages were simulated in (f64 addition is not
+    /// associative; a fixed fold order makes the sums bit-stable).
+    /// Lineage-healing charges land in the *producer* stage's bucket.
+    pub(crate) stage_stats: Vec<FaultStats>,
 }
 
 impl SimState {
@@ -740,13 +758,24 @@ impl SimState {
             stage_clean: vec![StepTimings::zero(); n],
             task_clean_time: vec![Vec::new(); n],
             edge_medium: vec![None; dag.num_edges()],
-            recovered: Default::default(),
+            heal_end: Default::default(),
             trace: ExecutionTrace::default(),
             stats: FaultStats {
                 server_failures: if failure.is_some() { 1 } else { 0 },
                 ..Default::default()
             },
+            stage_stats: vec![FaultStats::default(); n],
         }
+    }
+
+    /// Fold the run-level stats and every per-stage bucket (stage-id
+    /// order) into one total. Bit-stable across simulation orders.
+    pub(crate) fn total_stats(&self) -> FaultStats {
+        let mut total = self.stats;
+        for bucket in &self.stage_stats {
+            total.absorb(bucket);
+        }
+        total
     }
 
     /// Emit the run-level telemetry header (track names, server-failure
@@ -779,10 +808,29 @@ struct TaskOutcome {
     attempts: u32,
     /// Attempt index of the execution that produced the surviving output.
     final_attempt: u32,
+    /// Whether the surviving output came from a speculative copy.
+    final_is_spec: bool,
     records: Vec<AttemptRecord>,
 }
 
-/// One full simulation sweep under a fixed schedule (no replanning).
+/// The pre-recovery ready time of stage `s`: the max over in-edges of the
+/// producer's write start (pipelined) or end (blocking). Must stay
+/// bit-identical to the gate [`sim_stage`] computes — it is the ready
+/// queue's ordering key, and both fold the same edges in the same order.
+pub(crate) fn ready_time(state: &SimState, dag: &JobDag, s: StageId) -> f64 {
+    let mut ready = 0.0_f64;
+    for e in dag.in_edges(s) {
+        if e.pipelined {
+            ready = ready.max(state.stage_write_start[e.src.index()]);
+        } else {
+            ready = ready.max(state.stage_end[e.src.index()]);
+        }
+    }
+    ready
+}
+
+/// One full simulation sweep under a fixed schedule (no replanning),
+/// canonical (lowest-stage-id) tie-breaking.
 fn sim_pass(
     dag: &JobDag,
     schedule: &Schedule,
@@ -791,11 +839,33 @@ fn sim_pass(
     policy: &RecoveryPolicy,
     obs: &Recorder,
 ) -> Result<SimPass, ExecError> {
-    let order = dag.topo_order().map_err(|_| ExecError::CyclicDag)?;
+    sim_pass_with(dag, schedule, gt, plan, policy, obs, &mut TieBreak::canonical())
+}
+
+/// [`sim_pass`] under an explicit tie-break controller: stages execute in
+/// (ready time, controller choice) order through a [`ReadyQueue`]. The
+/// model checker (`crate::explore`) drives this with scripted and random
+/// controllers to prove the result is tie-break-invariant.
+pub(crate) fn sim_pass_with(
+    dag: &JobDag,
+    schedule: &Schedule,
+    gt: &GroundTruth,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+    obs: &Recorder,
+    tie: &mut TieBreak,
+) -> Result<SimPass, ExecError> {
     let mut state = SimState::new(dag, plan, schedule);
     state.announce(obs);
-    for &s in &order {
+    let mut queue = ReadyQueue::new(dag);
+    let mut popped = 0usize;
+    while let Some((_, s)) = queue.pop(tie) {
+        popped += 1;
         sim_stage(&mut state, dag, schedule, gt, plan, policy, obs, s)?;
+        queue.complete(dag, s, |c| ready_time(&state, dag, c));
+    }
+    if popped != dag.num_stages() {
+        return Err(ExecError::CyclicDag);
     }
     Ok(finish_pass(state, dag, schedule, gt, obs))
 }
@@ -839,9 +909,13 @@ pub(crate) fn sim_stage(
             }
         }
         // Lineage recovery: lost or corrupt upstream objects are detected
-        // by this (first-reading) stage and healed by re-executing the
-        // producing task. Recoveries of independent objects overlap, so
-        // the stage waits for the slowest one.
+        // by their first reader and healed by re-executing the producing
+        // task. The first reader (earliest ready time; the ready queue
+        // pops it first) pays the full re-execution and publishes
+        // `heal_end`; any other reader arriving before that instant waits
+        // for the remainder — reading earlier would consume the stale
+        // object the checksum already rejected. Recoveries of independent
+        // objects overlap, so the stage waits for the slowest one.
         let mut recovery = 0.0_f64;
         for e in dag.in_edges(s) {
             let medium = gt.edge_medium(schedule, e.id.index());
@@ -855,20 +929,31 @@ pub(crate) fn sim_stage(
                 let Some(kind) = plan.object_fault(src, tp) else {
                     continue;
                 };
-                if !state.recovered.insert((src.0, tp)) {
-                    continue; // already healed; regenerated object serves us
+                if let Some(&healed_at) = state.heal_end.get(&(src.0, tp)) {
+                    // Healing already in flight (or done): wait for the
+                    // regenerated object, pay nothing.
+                    if ready < healed_at {
+                        recovery = recovery.max(healed_at - ready);
+                    }
+                    continue;
                 }
                 let reexec = state.task_clean_time[src.index()][tp as usize];
+                state.heal_end.insert((src.0, tp), ready + reexec);
                 let d_src = producers as u32;
                 let wasted = gt.task_memory_gb(dag, src, d_src) * reexec;
+                // Charges go to the *producer* stage's bucket: the healed
+                // task belongs to `src`, and producer-keyed attribution
+                // keeps the totals independent of which reader got there
+                // first.
+                let bucket = &mut state.stage_stats[src.index()];
                 match kind {
-                    ObjectFaultKind::Loss => state.stats.object_losses += 1,
-                    ObjectFaultKind::Corruption => state.stats.object_corruptions += 1,
+                    ObjectFaultKind::Loss => bucket.object_losses += 1,
+                    ObjectFaultKind::Corruption => bucket.object_corruptions += 1,
                 }
-                state.stats.lineage_reexecs += 1;
-                state.stats.extra_attempts += 1;
-                state.stats.wasted_gb_s += wasted;
-                state.stats.recovery_delay_s += reexec;
+                bucket.lineage_reexecs += 1;
+                bucket.extra_attempts += 1;
+                bucket.wasted_gb_s += wasted;
+                bucket.recovery_delay_s += reexec;
                 recovery = recovery.max(reexec);
                 if obs.is_enabled() {
                     let name = match kind {
@@ -958,6 +1043,7 @@ pub(crate) fn sim_stage(
                             end,
                             attempts: attempt + 1,
                             final_attempt: attempt,
+                            final_is_spec: false,
                             records,
                         }
                     }
@@ -972,10 +1058,12 @@ pub(crate) fn sim_stage(
                             end: when,
                             outcome: why,
                             wasted_gb_s: wasted,
+                            speculative: false,
                         });
-                        state.stats.extra_attempts += 1;
-                        state.stats.wasted_gb_s += wasted;
-                        state.stats.recovery_delay_s += (when - launch).max(0.0);
+                        let bucket = &mut state.stage_stats[s.index()];
+                        bucket.extra_attempts += 1;
+                        bucket.wasted_gb_s += wasted;
+                        bucket.recovery_delay_s += (when - launch).max(0.0);
                         if why == AttemptOutcome::ServerLost {
                             if let Some(alt) = restart_server {
                                 server = alt;
@@ -989,7 +1077,7 @@ pub(crate) fn sim_stage(
                             });
                         }
                         let wait = policy.backoff(attempt);
-                        state.stats.recovery_delay_s += wait;
+                        bucket.recovery_delay_s += wait;
                         attempt += 1;
                         launch = when + wait;
                     }
@@ -1024,7 +1112,8 @@ pub(crate) fn sim_stage(
                 // environmental compute drift.
                 let ws = cs + st.compute * drift;
                 let se = ws + st.write;
-                state.stats.speculative_copies += 1;
+                let bucket = &mut state.stage_stats[s.index()];
+                bucket.speculative_copies += 1;
                 let spec_attempt = o.attempts; // next index in the sequence
                 if se < o.end {
                     // The copy wins; the original is killed at the copy's
@@ -1041,10 +1130,11 @@ pub(crate) fn sim_stage(
                         end: killed_at,
                         outcome: AttemptOutcome::Superseded,
                         wasted_gb_s: wasted,
+                        speculative: false,
                     });
-                    state.stats.extra_attempts += 1;
-                    state.stats.wasted_gb_s += wasted;
-                    state.stats.recovery_delay_s += killed_at - o.launch;
+                    bucket.extra_attempts += 1;
+                    bucket.wasted_gb_s += wasted;
+                    bucket.recovery_delay_s += killed_at - o.launch;
                     o.launch = spec_launch;
                     o.read_start = rs;
                     o.compute_start = cs;
@@ -1052,6 +1142,7 @@ pub(crate) fn sim_stage(
                     o.end = se;
                     o.attempts += 1;
                     o.final_attempt = spec_attempt;
+                    o.final_is_spec = true;
                 } else {
                     // The copy loses and is killed when the original ends.
                     let wasted = mem * (o.end - spec_launch).max(0.0);
@@ -1064,10 +1155,11 @@ pub(crate) fn sim_stage(
                         end: o.end,
                         outcome: AttemptOutcome::Superseded,
                         wasted_gb_s: wasted,
+                        speculative: true,
                     });
-                    state.stats.extra_attempts += 1;
-                    state.stats.wasted_gb_s += wasted;
-                    state.stats.recovery_delay_s += (o.end - spec_launch).max(0.0);
+                    bucket.extra_attempts += 1;
+                    bucket.wasted_gb_s += wasted;
+                    bucket.recovery_delay_s += (o.end - spec_launch).max(0.0);
                     o.attempts += 1;
                 }
             }
@@ -1123,6 +1215,7 @@ pub(crate) fn sim_stage(
                     end: o.end,
                     outcome: AttemptOutcome::Completed,
                     wasted_gb_s: 0.0,
+                    speculative: o.final_is_spec,
                 });
             }
             if obs.is_enabled() {
@@ -1177,6 +1270,55 @@ pub(crate) fn sim_stage(
                                 ("task", r.task.into()),
                                 ("attempt", r.attempt.into()),
                             ],
+                        );
+                    }
+                }
+                // Happens-before edges for the race checker: the surviving
+                // output's commit instant, one read event per in-edge, and
+                // slot-occupancy intervals per attempt.
+                obs.event(
+                    "hb.write",
+                    Track::server(srv, lane),
+                    o.end,
+                    vec![
+                        ("stage", s.0.into()),
+                        ("task", (t as u32).into()),
+                        ("server", srv.into()),
+                        ("write_start", o.write_start.into()),
+                    ],
+                );
+                for e in dag.in_edges(s) {
+                    let medium = state.edge_medium[e.id.index()]
+                        .unwrap_or_else(|| gt.edge_medium(schedule, e.id.index()));
+                    obs.event(
+                        "hb.read",
+                        Track::server(srv, lane),
+                        o.read_start,
+                        vec![
+                            ("stage", s.0.into()),
+                            ("task", (t as u32).into()),
+                            ("server", srv.into()),
+                            ("edge", (e.id.index() as u64).into()),
+                            ("src_stage", e.src.0.into()),
+                            ("pipelined", (e.pipelined as u64).into()),
+                            ("medium", medium_label(medium).into()),
+                            ("compute_start", o.compute_start.into()),
+                        ],
+                    );
+                }
+                if o.records.is_empty() {
+                    slot_pair(obs, srv, lane, s.0, t as u32, o.launch, o.end, false);
+                } else {
+                    for r in &o.records {
+                        slot_pair(
+                            obs,
+                            r.server.index() as u32,
+                            lane,
+                            r.stage,
+                            r.task,
+                            r.start,
+                            r.end,
+                            r.speculative,
                         );
                     }
                 }
@@ -1253,12 +1395,19 @@ pub(crate) fn sim_stage(
 /// Close out a simulation: storage persistence cost over the recorded
 /// per-edge media, final metrics. Consumes the state.
 pub(crate) fn finish_pass(
-    state: SimState,
+    mut state: SimState,
     dag: &JobDag,
     schedule: &Schedule,
     gt: &GroundTruth,
     obs: &Recorder,
 ) -> SimPass {
+    // Canonical trace order: stages may have been simulated in any
+    // tie-break order, but the returned trace sorts by (stage, task) —
+    // stable, so a task's attempt sequence keeps its order. This is what
+    // lets the model checker compare traces across interleavings
+    // structurally.
+    state.trace.tasks.sort_by_key(|t| (t.stage, t.task));
+    state.trace.attempts.sort_by_key(|a| (a.stage, a.task));
     // Storage persistence cost: every edge's volume is resident in its
     // medium from the producer's first write until the consumer's last
     // read completes. The medium is the one recorded when the consumer
@@ -1281,17 +1430,46 @@ pub(crate) fn finish_pass(
         }
     }
 
+    let faults = state.total_stats();
     let metrics = JobMetrics {
         jct: state.trace.jct(),
-        compute_cost: state.trace.compute_cost() + state.stats.wasted_gb_s,
+        compute_cost: state.trace.compute_cost() + faults.wasted_gb_s,
         storage_cost,
-        faults: state.stats,
+        faults,
     };
     SimPass {
         trace: state.trace,
         metrics,
         stage_launch: state.stage_launch,
     }
+}
+
+/// Emit a matched `hb.slot_acquire`/`hb.slot_release` pair for one slot
+/// occupancy interval. `spec` marks speculative copies, which run without
+/// reserving a slot (graded as a warning by the race checker, not an
+/// error).
+#[allow(clippy::too_many_arguments)]
+fn slot_pair(
+    obs: &Recorder,
+    srv: u32,
+    lane: u32,
+    stage: u32,
+    task: u32,
+    start: f64,
+    end: f64,
+    spec: bool,
+) {
+    let kind = if spec { "spec" } else { "task" };
+    let attrs = |k: &'static str| {
+        vec![
+            ("stage", stage.into()),
+            ("task", task.into()),
+            ("server", srv.into()),
+            ("kind", k.into()),
+        ]
+    };
+    obs.event("hb.slot_acquire", Track::server(srv, lane), start, attrs(kind));
+    obs.event("hb.slot_release", Track::server(srv, lane), end, attrs(kind));
 }
 
 /// Static label of an [`AttemptOutcome`] for telemetry attributes.

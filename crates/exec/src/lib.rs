@@ -33,11 +33,13 @@
 
 pub mod adaptive;
 pub mod error;
+pub mod explore;
 pub mod faults;
 pub mod groundtruth;
 pub mod metrics;
 pub mod multi;
 pub mod profile;
+pub(crate) mod queue;
 pub mod runner;
 pub mod sim;
 pub mod trace;
@@ -47,6 +49,7 @@ pub use adaptive::{
     ReplanTrigger,
 };
 pub use error::ExecError;
+pub use explore::{explore_random_dags, explore_schedule, Divergence, ExploreConfig, ExploreOutcome};
 pub use faults::{
     try_simulate_with_faults, try_simulate_with_faults_traced, AttemptOutcome, AttemptRecord,
     FaultEvent, FaultPlan, FaultRates, FaultStats, RecoveryPolicy, ReschedulingContext,

@@ -101,13 +101,7 @@ pub fn simulate_queue(
     jobs.iter()
         .enumerate()
         .map(|(i, job)| {
-            // FIFO: earliest-available partition; ties to lower index
-            // (round-robin under equal load).
-            let (p, _) = free_at
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
-                .expect("at least one partition exists");
+            let p = fifo_pick(&free_at);
             let start = free_at[p].max(job.arrival);
             let rm = ResourceManager::from_free_slots(partitions[p].clone());
             let schedule = scheduler.schedule(&SchedulingContext {
@@ -128,6 +122,26 @@ pub fn simulate_queue(
             }
         })
         .collect()
+}
+
+/// FIFO dispatch: the partition the next job runs on, by the explicit
+/// ordering key **(next-free instant, partition index)** — earliest
+/// availability wins, bit-equal availability goes to the lower index.
+///
+/// The index component is load-bearing, not a stylistic tiebreak:
+/// [`Iterator::min_by`] keeps the *last* of equally-minimal elements, so
+/// comparing availability alone would silently dispatch equal loads to
+/// the highest partition. The key makes the minimum unique, which is
+/// what keeps multi-job sweeps replayable across refactors (the race
+/// checker's schedule-space exploration assumes dispatch is a pure
+/// function of `free_at`).
+pub(crate) fn fifo_pick(free_at: &[f64]) -> usize {
+    free_at
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+        .map(|(p, _)| p)
+        .expect("at least one partition exists")
 }
 
 /// Aggregate queue statistics.
@@ -157,6 +171,19 @@ mod tests {
     use crate::groundtruth::ExecConfig;
     use crate::profile::profile_job;
     use ditto_core::DittoScheduler;
+
+    #[test]
+    fn fifo_pick_breaks_ties_to_the_lower_index() {
+        // All equal: lowest index, not min_by's last-minimum default.
+        assert_eq!(fifo_pick(&[0.0, 0.0, 0.0]), 0);
+        // Unique minimum wins regardless of position.
+        assert_eq!(fifo_pick(&[5.0, 2.0, 3.0]), 1);
+        // Bit-equal minima among a subset: the lower of the tied pair.
+        assert_eq!(fifo_pick(&[7.0, 4.0, 4.0]), 1);
+        // -0.0 and 0.0 are distinct under total_cmp: -0.0 sorts first.
+        assert_eq!(fifo_pick(&[0.0, -0.0]), 1);
+        assert_eq!(fifo_pick(&[1.0]), 0);
+    }
 
     fn make_jobs(n: usize, gt: &GroundTruth) -> Vec<QueuedJob> {
         (0..n)

@@ -259,6 +259,7 @@ impl LocalRuntime {
         let mut attempt = 0u32;
         let mut attempt_start;
         let mut faulted = false;
+        let mut spec_won = false;
         let mut out = loop {
             attempt_start = job_start.elapsed().as_secs_f64();
             let attempt_out = plan.execute_stage(s, db, &inputs, scan_slice);
@@ -277,6 +278,7 @@ impl LocalRuntime {
                     end: now,
                     outcome: AttemptOutcome::Crashed,
                     wasted_gb_s: wasted,
+                    speculative: false,
                 });
                 retries.fetch_add(1, Ordering::Relaxed);
                 if attempt >= self.recovery.max_retries {
@@ -323,6 +325,7 @@ impl LocalRuntime {
                     end: now,
                     outcome: AttemptOutcome::Superseded,
                     wasted_gb_s: wasted,
+                    speculative: false,
                 });
                 {
                     let mut st = stats.lock().unwrap_or_else(|p| p.into_inner());
@@ -335,6 +338,7 @@ impl LocalRuntime {
                 attempt_start = job_start.elapsed().as_secs_f64();
                 out = plan.execute_stage(s, db, &inputs, scan_slice);
                 faulted = true;
+                spec_won = true;
             }
         }
         let compute_secs = compute_t0.elapsed().as_secs_f64();
@@ -366,6 +370,7 @@ impl LocalRuntime {
                 end,
                 outcome: AttemptOutcome::Completed,
                 wasted_gb_s: 0.0,
+                speculative: spec_won,
             });
         }
 

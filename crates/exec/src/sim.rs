@@ -10,7 +10,9 @@
 //! late launching cost-neutral.
 
 use crate::error::ExecError;
-use crate::faults::{try_simulate_with_faults, FaultPlan, RecoveryPolicy};
+use crate::faults::{FaultPlan, RecoveryPolicy};
+#[cfg(not(debug_assertions))]
+use crate::faults::try_simulate_with_faults;
 use crate::groundtruth::GroundTruth;
 use crate::metrics::JobMetrics;
 use crate::trace::ExecutionTrace;
@@ -58,6 +60,31 @@ pub fn try_simulate(
     if !report.is_clean() {
         return Err(ExecError::InvalidSchedule(report.render()));
     }
+    // Debug builds run traced (telemetry is <5% overhead and metrics are
+    // bit-identical either way — the telemetry tests pin both) and gate
+    // the recorded event stream through the race checker, so any ordering
+    // hazard a refactor introduces fails loudly in every debug test run.
+    #[cfg(debug_assertions)]
+    {
+        let obs = ditto_obs::Recorder::new();
+        let out = crate::faults::try_simulate_with_faults_traced(
+            dag,
+            schedule,
+            gt,
+            &FaultPlan::none(),
+            &RecoveryPolicy::none(),
+            None,
+            &obs,
+        )?;
+        let race = ditto_audit::check_trace(&obs.finish(), &ditto_audit::RaceOptions::default());
+        debug_assert!(
+            race.is_clean(),
+            "race checker rejected try_simulate's own trace:\n{}",
+            race.render()
+        );
+        Ok(out)
+    }
+    #[cfg(not(debug_assertions))]
     try_simulate_with_faults(
         dag,
         schedule,

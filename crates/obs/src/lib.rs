@@ -43,6 +43,7 @@ pub mod chrome;
 pub mod critical_path;
 pub mod diff;
 pub mod folded;
+pub mod import;
 pub mod jsonl;
 pub mod metrics;
 pub mod schema;
@@ -54,6 +55,7 @@ pub use chrome::to_chrome_trace;
 pub use critical_path::{critical_path, CriticalPathReport, StageAttribution};
 pub use diff::{diff_traces, DeltaKind, StageDelta, StructuralSummary, TraceDiff};
 pub use folded::to_folded;
+pub use import::{events_from_chrome, events_from_jsonl, ImportStats};
 pub use jsonl::{summary_table, to_jsonl};
 pub use scorecard::{DriftMark, PredictorSample, PredictorScorecard};
 pub use metrics::{LogHistogram, MetricKind, MetricSnapshot, MetricsRegistry};

@@ -72,6 +72,20 @@ fn required_args(name: &str) -> Option<&'static [&'static str]> {
         "fault.object_lost" | "fault.object_corrupt" => Some(&["stage", "task", "reader_stage"]),
         "recovery.lineage_reexec" => Some(&["stage", "task", "reexec_s"]),
         "drift.detected" => Some(&["stage", "factor", "samples"]),
+        "hb.write" => Some(&["stage", "task", "server", "write_start"]),
+        "hb.read" => Some(&[
+            "stage",
+            "task",
+            "server",
+            "edge",
+            "src_stage",
+            "pipelined",
+            "medium",
+            "compute_start",
+        ]),
+        "hb.slot_acquire" | "hb.slot_release" => Some(&["stage", "task", "server", "kind"]),
+        "hb.seam" => Some(&["edge", "src_stage", "dst_stage"]),
+        "hb.object_commit" | "hb.object_fetch" => Some(&["key"]),
         "predictor.sample" => Some(&[
             "stage",
             "pred_setup",

@@ -320,7 +320,26 @@ impl DataPlane {
             }
         }
         self.record_transfer_sized(medium, bytes, logical_bytes);
+        // Happens-before edge for the race checker: the object is now
+        // durable (or on the bus); any fetch of this key must follow.
+        self.hb_object_event("hb.object_commit", &partition_key(edge, from_task, to_task));
         Ok(())
+    }
+
+    /// Emit one dataplane `hb.object_*` event on the storage track, keyed
+    /// by partition key, at the recorder's wall clock. No-op without an
+    /// attached, enabled recorder.
+    fn hb_object_event(&self, name: &'static str, key: &str) {
+        if let Some(obs) = self.obs.lock().as_ref() {
+            if obs.is_enabled() {
+                obs.event(
+                    name,
+                    ditto_obs::Track::storage(),
+                    obs.wall_now(),
+                    vec![("key", ditto_obs::AttrValue::Text(key.to_string()))],
+                );
+            }
+        }
     }
 
     /// Receive one intermediate partition, blocking up to `timeout` when it
@@ -335,11 +354,18 @@ impl DataPlane {
         timeout: Duration,
     ) -> Result<Bytes, StoreError> {
         match self.medium_between(src_server, dst_server) {
-            Medium::SharedMemory => self.buses[src_server]
-                .recv((edge, from_task, to_task), timeout)
-                .ok_or_else(|| {
-                    StoreError::NotFound(partition_key(edge, from_task, to_task))
-                }),
+            Medium::SharedMemory => {
+                match self.buses[src_server].recv((edge, from_task, to_task), timeout) {
+                    Some(b) => {
+                        self.hb_object_event(
+                            "hb.object_fetch",
+                            &partition_key(edge, from_task, to_task),
+                        );
+                        Ok(b)
+                    }
+                    None => Err(StoreError::NotFound(partition_key(edge, from_task, to_task))),
+                }
+            }
             _ => {
                 let key = partition_key(edge, from_task, to_task);
                 // External stores have no blocking read; poll with bounded,
@@ -360,6 +386,7 @@ impl DataPlane {
                                 st.retried_reads += 1;
                                 st.extra_attempts += attempt as u64;
                             }
+                            self.hb_object_event("hb.object_fetch", &key);
                             return Ok(b);
                         }
                         Err(StoreError::NotFound(_))
@@ -479,6 +506,41 @@ mod tests {
         };
         assert_eq!(get("shared-memory"), Some(5.0));
         assert_eq!(get("s3"), Some(7.0));
+    }
+
+    #[test]
+    fn commit_and_fetch_emit_ordered_hb_events() {
+        let obs = Arc::new(ditto_obs::Recorder::new());
+        let dp = DataPlane::new(Medium::S3, 2);
+        dp.attach_recorder(obs.clone());
+        // One external transfer and one shared-memory transfer.
+        dp.send_partition(4, 1, 2, 0, 1, Bytes::from_static(b"ext")).unwrap();
+        dp.recv_partition(4, 1, 2, 0, 1, Duration::from_millis(50))
+            .unwrap();
+        dp.send_partition(5, 0, 0, 1, 1, Bytes::from_static(b"shm")).unwrap();
+        dp.recv_partition(5, 0, 0, 1, 1, Duration::from_millis(50))
+            .unwrap();
+        let data = obs.finish();
+        let by_name = |n: &str| -> Vec<_> { data.events.iter().filter(|e| e.name == n).collect() };
+        let commits = by_name("hb.object_commit");
+        let fetches = by_name("hb.object_fetch");
+        assert_eq!(commits.len(), 2);
+        assert_eq!(fetches.len(), 2);
+        for (c, f) in commits.iter().zip(fetches.iter()) {
+            assert_eq!(c.attr("key"), f.attr("key"), "commit/fetch keys must pair");
+            assert!(c.ts <= f.ts, "commit {} must precede fetch {}", c.ts, f.ts);
+        }
+        // A failed fetch emits no event: nothing was handed to the reader.
+        let obs2 = Arc::new(ditto_obs::Recorder::new());
+        let dp2 = DataPlane::new(Medium::S3, 1);
+        dp2.attach_recorder(obs2.clone());
+        dp2.set_read_retry(ReadRetryPolicy {
+            max_attempts: 1,
+            backoff_base: 1e-4,
+            jitter: 0.0,
+        });
+        assert!(dp2.recv_partition(0, 0, 0, 0, 0, Duration::from_millis(1)).is_err());
+        assert!(obs2.finish().events.is_empty());
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! ditto-audit --json job.json             # machine-readable report
 //! ditto-audit --deadline 120 job.json     # also check a JCT deadline
 //! ditto-audit --cost-budget 5e6 job.json  # also check a GB·s budget
+//! ditto-audit race trace.jsonl            # race-check a trace artifact
+//! ditto-audit race --json --capacities 12,10 trace.json
 //! ```
 //!
 //! Runs the full certificate chain of `ditto_audit` on the schedule the
@@ -14,13 +16,22 @@
 //! optimality (Eqs. 3–4) and, with the flags above, objective adherence.
 //! Exits 0 iff the schedule is certified (no error-severity findings),
 //! 1 on audit errors, 2 on a malformed spec or bad flags.
+//!
+//! The `race` subcommand instead re-imports a recorded `--trace-out`
+//! artifact (JSONL or Chrome JSON, auto-detected), rebuilds the
+//! happens-before graph from its `hb.*` events, and reports ordering
+//! violations — same exit-code contract.
 
 use ditto::jobspec::JobSpec;
-use ditto_audit::AuditOptions;
+use ditto_audit::{AuditOptions, RaceOptions};
 use std::io::Read as _;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("race") {
+        args.remove(0);
+        race_main(args);
+    }
     let json = take_flag(&mut args, "--json");
     let deadline = take_value(&mut args, "--deadline");
     let cost_budget = take_value(&mut args, "--cost-budget");
@@ -84,20 +95,100 @@ fn main() {
     std::process::exit(if report.is_clean() { 0 } else { 1 });
 }
 
+/// `ditto-audit race [--json] [--capacities N,N,..] [--eps SECS] <trace>`
+/// — never returns.
+fn race_main(mut args: Vec<String>) -> ! {
+    let json = take_flag(&mut args, "--json");
+    let capacities = take_raw(&mut args, "--capacities").map(|raw| {
+        raw.split(',')
+            .map(|s| match s.trim().parse::<u32>() {
+                Ok(v) => v,
+                Err(_) => {
+                    eprintln!("ditto-audit race: bad --capacities entry {s:?}");
+                    std::process::exit(2);
+                }
+            })
+            .collect::<Vec<u32>>()
+    });
+    let eps = take_value(&mut args, "--eps");
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: ditto-audit race [--json] [--capacities N,N,..] [--eps SECS] <trace.jsonl|trace.json>"
+        );
+        std::process::exit(2);
+    }
+    let text = match args.first().map(|s| s.as_str()) {
+        Some(path) if path != "-" => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("ditto-audit race: cannot read {path:?}: {e}");
+                std::process::exit(2);
+            }
+        },
+        _ => {
+            let mut buf = String::new();
+            if std::io::stdin().read_to_string(&mut buf).is_err() {
+                eprintln!("ditto-audit race: failed to read stdin");
+                std::process::exit(2);
+            }
+            buf
+        }
+    };
+    // Chrome exports are a single object with `traceEvents`; everything
+    // else is treated as JSONL (one object per line).
+    let chrome = text.trim_start().starts_with('{') && text.contains("\"traceEvents\"");
+    let imported = if chrome {
+        ditto_obs::events_from_chrome(&text)
+    } else {
+        ditto_obs::events_from_jsonl(&text)
+    };
+    let (trace, stats) = match imported {
+        Ok(parts) => parts,
+        Err(e) => {
+            eprintln!("ditto-audit race: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut opts = RaceOptions {
+        capacities,
+        ..Default::default()
+    };
+    if let Some(e) = eps {
+        opts.eps = e;
+    }
+    let report = ditto_audit::check_trace(&trace, &opts);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        if stats.skipped_events > 0 || stats.skipped_attrs > 0 {
+            eprintln!(
+                "ditto-audit race: skipped {} unknown events, {} unknown attrs on import",
+                stats.skipped_events, stats.skipped_attrs
+            );
+        }
+        print!("{}", report.render());
+    }
+    std::process::exit(if report.is_clean() { 0 } else { 1 });
+}
+
 fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
     let had = args.iter().any(|a| a == name);
     args.retain(|a| a != name);
     had
 }
 
-fn take_value(args: &mut Vec<String>, name: &str) -> Option<f64> {
+fn take_raw(args: &mut Vec<String>, name: &str) -> Option<String> {
     let i = args.iter().position(|a| a == name)?;
     args.remove(i);
     if i >= args.len() {
-        eprintln!("ditto-audit: {name} needs a numeric argument");
+        eprintln!("ditto-audit: {name} needs an argument");
         std::process::exit(2);
     }
-    let raw = args.remove(i);
+    Some(args.remove(i))
+}
+
+fn take_value(args: &mut Vec<String>, name: &str) -> Option<f64> {
+    let raw = take_raw(args, name)?;
     match raw.parse::<f64>() {
         Ok(v) if v.is_finite() && v > 0.0 => Some(v),
         _ => {
