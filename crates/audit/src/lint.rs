@@ -17,6 +17,7 @@
 //! | `PANIC02` | `.expect(..)` outside tests/bins                  | core, exec, cluster, timemodel |
 //! | `TRUNC01` | float `floor/ceil/round/sqrt` cast to `u32/u64/usize` | core, timemodel |
 //! | `SLEEP01` | wall-clock `thread::sleep` in shipped code        | exec, storage |
+//! | `FSYNC01` | raw file writes in journal/object-commit paths    | exec journal, storage |
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -48,6 +49,13 @@ pub enum LintRule {
     /// loop sleeps forever on a permanently lost object). Sanctioned
     /// sites document their cap in `audit.allow`.
     Sleep01UnboundedSleep,
+    /// Raw file I/O (`fs::write`, `File::create`, `OpenOptions`,
+    /// `.write_all(`) in the write-ahead-journal or object-commit paths.
+    /// Durability there must go through the checked `JournalWriter`
+    /// (length-prefixed, CRC-framed, torn-tail detectable) or the
+    /// checksummed object store — a raw write can leave an undetectable
+    /// torn record. Sanctioned sites justify themselves in `audit.allow`.
+    Fsync01RawDurableWrite,
 }
 
 impl LintRule {
@@ -61,10 +69,11 @@ impl LintRule {
             LintRule::Panic02Expect => "PANIC02",
             LintRule::Trunc01FloatCast => "TRUNC01",
             LintRule::Sleep01UnboundedSleep => "SLEEP01",
+            LintRule::Fsync01RawDurableWrite => "FSYNC01",
         }
     }
 
-    fn all() -> [LintRule; 7] {
+    fn all() -> [LintRule; 8] {
         [
             LintRule::Det01HashCollection,
             LintRule::Det02PartialCmpUnwrap,
@@ -73,6 +82,7 @@ impl LintRule {
             LintRule::Panic02Expect,
             LintRule::Trunc01FloatCast,
             LintRule::Sleep01UnboundedSleep,
+            LintRule::Fsync01RawDurableWrite,
         ]
     }
 
@@ -101,6 +111,9 @@ impl LintRule {
             }
             LintRule::Sleep01UnboundedSleep => {
                 rel.starts_with("crates/exec/") || rel.starts_with("crates/storage/")
+            }
+            LintRule::Fsync01RawDurableWrite => {
+                rel == "crates/exec/src/journal.rs" || rel.starts_with("crates/storage/")
             }
         }
     }
@@ -135,6 +148,12 @@ impl LintRule {
             LintRule::Sleep01UnboundedSleep => {
                 line.contains("thread::sleep") || line.contains("sleep(Duration")
             }
+            LintRule::Fsync01RawDurableWrite => {
+                line.contains("fs::write(")
+                    || line.contains("File::create(")
+                    || line.contains("OpenOptions::new(")
+                    || line.contains(".write_all(")
+            }
         }
     }
 
@@ -168,6 +187,11 @@ impl LintRule {
             LintRule::Sleep01UnboundedSleep => {
                 "wall-clock sleep in exec/storage shipped code must sit behind a bounded \
                  attempt cap; state the cap (max_retries / wait ceiling) in audit.allow"
+            }
+            LintRule::Fsync01RawDurableWrite => {
+                "raw file write in a journal/object-commit path; durability must go through \
+                 the CRC-framed JournalWriter or the checksummed object store, or justify \
+                 the site in audit.allow"
             }
         }
     }
@@ -591,6 +615,46 @@ fn also_shipping() { Some(2).unwrap(); }
         // `use std::thread::sleep; sleep(Duration...)` form still fires.
         let bare = "sleep(Duration::from_millis(5));\n";
         assert_eq!(run("crates/exec/src/runner.rs", bare).len(), 1);
+    }
+
+    #[test]
+    fn fsync_rule_guards_journal_and_storage_paths() {
+        let src = "fn persist(&self) {\n    std::fs::write(&self.path, &self.buf).unwrap();\n}\n";
+        let f = run("crates/exec/src/journal.rs", src);
+        assert!(
+            f.iter().any(|f| f.rule == LintRule::Fsync01RawDurableWrite),
+            "{f:?}"
+        );
+        assert_eq!(
+            run("crates/storage/src/object_store.rs", "file.write_all(&frame)?;\n").len(),
+            1
+        );
+        assert_eq!(
+            run(
+                "crates/storage/src/commit.rs",
+                "let f = OpenOptions::new().append(true).open(p)?;\n"
+            )
+            .len(),
+            1
+        );
+        // Out of scope: the rest of exec, the bench harness, binaries.
+        assert!(run("crates/exec/src/runner.rs", "std::fs::write(p, b)?;\n").is_empty());
+        assert!(run("crates/bench/src/crash.rs", "std::fs::write(p, b)?;\n").is_empty());
+    }
+
+    #[test]
+    fn fsync_rule_honors_allowlist_justification() {
+        let mut allow = Allowlist::parse(
+            "FSYNC01|crates/storage/src/object_store.rs|write_all(&frame)|frame already CRC-framed by JournalWriter::encode; single append\n",
+        )
+        .unwrap();
+        let f = lint_source(
+            "crates/storage/src/object_store.rs",
+            "file.write_all(&frame)?;\n",
+            &mut allow,
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].allowed);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! cargo run --release -p ditto-bench --bin figures -- sqlbench     # writes BENCH_sql.json
 //! cargo run --release -p ditto-bench --bin figures -- regress      # gate vs BENCH_HISTORY.jsonl
 //! cargo run --release -p ditto-bench --bin figures -- race         # hb race certify + model check
+//! cargo run --release -p ditto-bench --bin figures -- crash        # crash-point certification sweep
 //! ```
 //!
 //! `sched` (and its CI subset `sched-smoke`) is not part of `all`: the
@@ -25,7 +26,7 @@
 //! Every `sched|sqlbench|adapt|faults|telemetry` run appends a config-fingerprinted
 //! record to `BENCH_HISTORY.jsonl` (`DITTO_HISTORY_PATH` overrides);
 //! `regress` replays the deterministic experiments (`faults`,
-//! `adapt-smoke`, `sqlbench-smoke`) against that history with noise-aware thresholds and
+//! `adapt-smoke`, `sqlbench-smoke`, `crash-smoke`) against that history with noise-aware thresholds and
 //! exits nonzero on regression (`--record-only` seeds history without
 //! judging — CI's first runs).
 
@@ -206,6 +207,40 @@ fn main() {
                     trace_consumed = true;
                 }
             }
+            // Crash-point certification sweep: kill the coordinator at
+            // every journal record index (smoke: a strided subset) of
+            // two fixed-seed scenarios and recover from the write-ahead
+            // journal. `crash` exercises every index; `crash-smoke` the
+            // CI stride. Both write BENCH_crash.json and the recovered
+            // adaptive exemplar's journal as JOURNAL_crash.bin; exits
+            // nonzero if any crash point diverged or failed
+            // certification. With `--trace-out` the recovered run's
+            // trace (deterministic virtual scheduler clock) is written.
+            "crash" | "crash-smoke" => {
+                let rows = if t == "crash" {
+                    ditto_bench::crash_sweep()
+                } else {
+                    ditto_bench::crash_sweep_smoke()
+                };
+                emit(&rows, json);
+                std::fs::write("BENCH_crash.json", write_json(&rows)).expect("write BENCH_crash.json");
+                println!("wrote BENCH_crash.json ({} rows)", rows.len());
+                let (trace, journal) = ditto_bench::traced_crash_recovery();
+                std::fs::write("JOURNAL_crash.bin", &journal).expect("write JOURNAL_crash.bin");
+                println!(
+                    "wrote JOURNAL_crash.bin ({} bytes) — certify with `ditto-audit journal`",
+                    journal.len()
+                );
+                record_history(HistoryRecord::now(t, &crash_config(), crash_metrics(&rows)));
+                if let Some(path) = &trace_out {
+                    write_trace(path, &trace, "recovered-run crash exemplar");
+                    trace_consumed = true;
+                }
+                if rows.iter().any(|r| !r.bit_identical || !r.certified_clean) {
+                    eprintln!("crash sweep: a crash point diverged or failed certification");
+                    std::process::exit(1);
+                }
+            }
             "telemetry" => {
                 let rows = ditto_bench::telemetry_overhead();
                 emit(&rows, json);
@@ -281,6 +316,7 @@ fn main() {
                 let frows = ditto_bench::fault_sweep();
                 let arows = ditto_bench::adapt_sweep_smoke();
                 let srows = ditto_bench::sql_bench_smoke();
+                let crows = ditto_bench::crash_sweep_smoke();
                 let records = [
                     HistoryRecord::now("faults", &faults_config(), faults_metrics(&frows)),
                     HistoryRecord::now(
@@ -293,6 +329,7 @@ fn main() {
                         &sql_config("sqlbench-smoke"),
                         sql_metrics(&srows, false),
                     ),
+                    HistoryRecord::now("crash-smoke", &crash_config(), crash_metrics(&crows)),
                 ];
                 let mut failed = false;
                 for rec in records {
@@ -319,7 +356,7 @@ fn main() {
                 );
             }
             other => eprintln!(
-                "unknown target {other:?}; known: {all:?} (+ \"sched\", \"sched-smoke\", \"sqlbench\", \"sqlbench-smoke\", \"adapt\", \"adapt-smoke\", \"race\", \"race-smoke\", \"regress\" — not in `all`)"
+                "unknown target {other:?}; known: {all:?} (+ \"sched\", \"sched-smoke\", \"sqlbench\", \"sqlbench-smoke\", \"adapt\", \"adapt-smoke\", \"crash\", \"crash-smoke\", \"race\", \"race-smoke\", \"regress\" — not in `all`)"
             ),
         }
     }
@@ -419,6 +456,29 @@ fn adapt_metrics(rows: &[ditto_bench::AdaptSweepRow]) -> Vec<(String, f64)> {
             )
         })
         .collect()
+}
+
+fn crash_config() -> String {
+    format!(
+        "seed={} slots={:?} scenarios=[frozen-ladder,adaptive-drift2x]",
+        ditto_bench::crash::CRASH_SEED,
+        ditto_bench::crash::CRASH_SLOTS,
+    )
+}
+
+/// JCT is asserted bit-identical to the crash-free run, so it doubles as
+/// the correctness fingerprint; resim counts are the recovery-overhead
+/// metric the regress gate holds.
+fn crash_metrics(rows: &[ditto_bench::CrashSweepRow]) -> Vec<(String, f64)> {
+    let mut m = Vec::new();
+    for r in rows {
+        m.push((format!("crash_{}_jct_s", r.scenario), r.jct_seconds));
+        m.push((
+            format!("crash_{}_mean_resim_stages", r.scenario),
+            r.mean_resim_stages,
+        ));
+    }
+    m
 }
 
 fn sql_config(t: &str) -> String {

@@ -20,6 +20,7 @@
 pub mod ablations;
 pub mod adapt;
 pub mod audit_sweep;
+pub mod crash;
 pub mod experiments;
 pub mod history;
 pub mod race_sweep;
@@ -34,6 +35,7 @@ pub use adapt::{adapt_sweep, adapt_sweep_grid, adapt_sweep_smoke, traced_adapt_p
 pub use audit_sweep::{
     audit_sweep, audit_sweep_traced, sweep_is_clean, AuditSweepRow, AUDIT_SWEEP_SEEDS,
 };
+pub use crash::{crash_sweep, crash_sweep_smoke, traced_crash_recovery, CrashSweepRow};
 pub use history::{
     append_history, check_regression, history_path, load_history, HistoryRecord, MetricStatus,
     MetricVerdict, RegressOptions, RegressReport,

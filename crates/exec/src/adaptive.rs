@@ -136,6 +136,11 @@ pub struct ReplanRecord {
     /// corrected-model prediction does not beat the current plan is
     /// recorded but not applied).
     pub applied: bool,
+    /// Monotonic control-plane decision sequence number, shared with the
+    /// write-ahead journal: the schedule commit is decision 0 and every
+    /// replan / failover increments from there, so trace diffing can
+    /// align crashed and recovered runs decision by decision.
+    pub decision_seq: u64,
 }
 
 /// Simulate `schedule` on `dag` adaptively: same fault semantics as
@@ -196,6 +201,7 @@ pub fn try_simulate_adaptive_traced(
         cfg,
         obs,
         &mut TieBreak::canonical(),
+        None,
     )
 }
 
@@ -217,6 +223,7 @@ pub(crate) fn try_simulate_adaptive_tie(
     cfg: &AdaptiveConfig,
     obs: &Recorder,
     tie: &mut TieBreak,
+    mut jr: Option<&mut crate::journal::JournalSession>,
 ) -> Result<(ExecutionTrace, JobMetrics), ExecError> {
     schedule.validate(dag).map_err(ExecError::InvalidSchedule)?;
     let n = dag.num_stages();
@@ -248,7 +255,16 @@ pub(crate) fn try_simulate_adaptive_tie(
         loop {
             match next {
                 Some((r, s)) if r == batch_ready => {
-                    sim_stage(&mut state, dag, &cur, gt, plan, policy, obs, s)?;
+                    let restored = match jr.as_deref_mut() {
+                        Some(j) => j.try_restore(s, &mut state, dag, obs),
+                        None => false,
+                    };
+                    if !restored {
+                        sim_stage(&mut state, dag, &cur, gt, plan, policy, obs, s)?;
+                        if let Some(j) = jr.as_deref_mut() {
+                            j.record_stage(s, &state, dag)?;
+                        }
+                    }
                     queue.complete(dag, s, |c| ready_time(&state, dag, c));
                     batch.push(s);
                     next = queue.pop(tie);
@@ -324,6 +340,77 @@ pub(crate) fn try_simulate_adaptive_tie(
         let n_suffix = suffix.iter().filter(|&&b| b).count();
         if n_suffix == 0 {
             continue; // nothing downstream is still movable
+        }
+        // Journal replay: the gates above re-ran deterministically over
+        // restored state, so a gate-passing decision point on a resumed
+        // run either matches the journaled decision made here before the
+        // crash (substitute it — no re-optimization, which is what bounds
+        // recovery work) or the run has diverged (hard error). Once the
+        // replay queue drains, decisions fall through to the live path
+        // below and journal as usual.
+        if let Some(j) = jr.as_deref_mut() {
+            if let Some((rec, j_suffix, j_sched)) = j.next_replan_for(s.0, now) {
+                if j_suffix != suffix {
+                    return Err(ExecError::Journal(format!(
+                        "resumed run diverged: replan at stage {} recomputed a different suffix than the journal",
+                        s.0
+                    )));
+                }
+                if obs.is_enabled() {
+                    obs.event(
+                        "sched.replan",
+                        Track::scheduler(0),
+                        now,
+                        vec![
+                            ("trigger", match rec.trigger {
+                                ReplanTrigger::Drift => "drift",
+                                ReplanTrigger::ObjectRecovery => "object-recovery",
+                            }
+                            .into()),
+                            ("at_stage", rec.at_stage.into()),
+                            ("factor", rec.factor.into()),
+                            ("suffix_stages", u64::from(rec.suffix_stages).into()),
+                            ("old_predicted_jct", rec.old_predicted_jct.into()),
+                            ("new_predicted_jct", rec.new_predicted_jct.into()),
+                            ("applied", u64::from(rec.applied).into()),
+                            ("risk_penalty", rec.risk_penalty.into()),
+                            ("audit_clean", u64::from(rec.audit_clean).into()),
+                            ("corr_read", rec.corrections.read.into()),
+                            ("corr_compute", rec.corrections.compute.into()),
+                            ("corr_write", rec.corrections.write.into()),
+                            ("decision_seq", rec.decision_seq.into()),
+                        ],
+                    );
+                }
+                if rec.applied {
+                    let Some(stored) = j_sched else {
+                        return Err(ExecError::Journal(
+                            "applied replan was journaled without its spliced schedule".into(),
+                        ));
+                    };
+                    if obs.is_enabled() {
+                        for e in dag.edges() {
+                            if !suffix[e.src.index()] && suffix[e.dst.index()] {
+                                obs.event(
+                                    "hb.seam",
+                                    Track::scheduler(0),
+                                    now,
+                                    vec![
+                                        ("edge", (e.id.index() as u64).into()),
+                                        ("src_stage", e.src.0.into()),
+                                        ("dst_stage", e.dst.0.into()),
+                                    ],
+                                );
+                            }
+                        }
+                    }
+                    state.stats.rescheduled_stages += rec.suffix_stages;
+                    cur = stored;
+                }
+                last_decision = Some((rec.factor, remaining));
+                replans.push(rec);
+                continue;
+            }
         }
         // Learned corrections, most-specific first: the stage's own
         // samples, else its stage-type class (maps correct maps that have
@@ -450,6 +537,28 @@ pub(crate) fn try_simulate_adaptive_tie(
         } else {
             ReplanTrigger::Drift
         };
+        // Decision 0 is the schedule commit; replans continue the shared
+        // monotonic sequence (replayed decisions included via `replans`).
+        let decision_seq = replans.len() as u64 + 1;
+        let record = ReplanRecord {
+            trigger,
+            at_stage: s.0,
+            sim_time: now,
+            factor: ev.factor,
+            corrections: corrections.global,
+            suffix_stages: n_suffix as u32,
+            old_predicted_jct,
+            new_predicted_jct,
+            risk_penalty,
+            audit_clean,
+            applied,
+            decision_seq,
+        };
+        // Write-ahead: the decision journals before its event fires or
+        // the splice takes effect.
+        if let Some(j) = jr.as_deref_mut() {
+            j.append_replan(&record, &suffix, if applied { Some(&spliced) } else { None })?;
+        }
         if obs.is_enabled() {
             obs.event(
                 "sched.replan",
@@ -472,22 +581,11 @@ pub(crate) fn try_simulate_adaptive_tie(
                     ("corr_read", corrections.global.read.into()),
                     ("corr_compute", corrections.global.compute.into()),
                     ("corr_write", corrections.global.write.into()),
+                    ("decision_seq", decision_seq.into()),
                 ],
             );
         }
-        replans.push(ReplanRecord {
-            trigger,
-            at_stage: s.0,
-            sim_time: now,
-            factor: ev.factor,
-            corrections: corrections.global,
-            suffix_stages: n_suffix as u32,
-            old_predicted_jct,
-            new_predicted_jct,
-            risk_penalty,
-            audit_clean,
-            applied,
-        });
+        replans.push(record);
         last_decision = Some((ev.factor, remaining));
         if applied {
             if obs.is_enabled() {

@@ -55,6 +55,18 @@ pub enum ExecError {
     },
     /// The data plane rejected an intermediate partition.
     DataPlane(String),
+    /// A seeded coordinator crash killed the engine mid-append (the
+    /// journal's torn tail survives; recover with
+    /// [`JournalSession::resume`]).
+    ///
+    /// [`JournalSession::resume`]: crate::journal::JournalSession::resume
+    CoordinatorCrash {
+        /// Journal record index the crash tore.
+        at_record: u64,
+    },
+    /// The write-ahead journal is inconsistent with the run replaying it
+    /// (divergent decisions, conflicting commits, malformed records).
+    Journal(String),
 }
 
 impl fmt::Display for ExecError {
@@ -80,6 +92,10 @@ impl fmt::Display for ExecError {
                 "cluster too small after failure: need {needed} slots, {available} free"
             ),
             ExecError::DataPlane(why) => write!(f, "data plane error: {why}"),
+            ExecError::CoordinatorCrash { at_record } => {
+                write!(f, "coordinator crashed at journal record {at_record}")
+            }
+            ExecError::Journal(why) => write!(f, "journal error: {why}"),
         }
     }
 }

@@ -158,7 +158,7 @@ pub fn explore_schedule(
     let run = |mut tie: TieBreak| -> Result<RunResult, ExecError> {
         let (trace, metrics) = match adaptive {
             Some((ctx, acfg)) => try_simulate_adaptive_tie(
-                dag, schedule, gt, plan, policy, ctx, acfg, &muted, &mut tie,
+                dag, schedule, gt, plan, policy, ctx, acfg, &muted, &mut tie, None,
             )?,
             None => {
                 let pass = sim_pass_with(dag, schedule, gt, plan, policy, &muted, &mut tie)?;

@@ -120,6 +120,18 @@ pub enum FaultEvent {
         /// Multiplier ≥ 0 applied to matching stages' compute steps.
         factor: f64,
     },
+    /// The coordinator itself dies at an arbitrary journal instant: the
+    /// append of the `at_record`-th journal record is torn half-way and
+    /// the engine fails with [`ExecError::CoordinatorCrash`]. Only
+    /// consulted by the journaled entry points
+    /// ([`crate::journal::JournalSession::fresh_from_plan`]) — the
+    /// unjournaled engines have no coordinator state to lose.
+    ///
+    /// [`ExecError::CoordinatorCrash`]: crate::error::ExecError::CoordinatorCrash
+    CoordinatorCrash {
+        /// Journal record index (0-based append count) to crash at.
+        at_record: u64,
+    },
 }
 
 /// What happened to one producer task's stored output, per
@@ -235,6 +247,13 @@ impl FaultPlan {
     /// multiplicatively with global drift and other kind drifts.
     pub fn with_kind_drift(mut self, kind: StageKind, factor: f64) -> Self {
         self.events.push(FaultEvent::KindDrift { kind, factor });
+        self
+    }
+
+    /// Append a seeded coordinator crash at journal record `at_record`
+    /// (builder style). Consumed by the journaled engine entry points.
+    pub fn and_coordinator_crash(mut self, at_record: u64) -> Self {
+        self.events.push(FaultEvent::CoordinatorCrash { at_record });
         self
     }
 
@@ -383,6 +402,18 @@ impl FaultPlan {
             }
         }
         m
+    }
+
+    /// The earliest seeded coordinator crash point, if any (only the
+    /// first is armed; a crash can only happen once per incarnation).
+    pub fn coordinator_crash(&self) -> Option<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::CoordinatorCrash { at_record } => Some(*at_record),
+                _ => None,
+            })
+            .min()
     }
 
     /// The first (earliest) whole-server failure, if any. Only one server
@@ -669,6 +700,11 @@ pub fn try_simulate_with_faults_traced(
                 ("failed_server", (failed.index() as u64).into()),
                 ("at_time", at_time.into()),
                 ("suffix_stages", (n_suffix as u64).into()),
+                // Decision 0 is the schedule commit; the (single) failover
+                // reschedule is decision 1 — the same sequence the journal
+                // records, so trace diffing can align crashed vs recovered
+                // runs.
+                ("decision_seq", 1u64.into()),
             ],
         );
     }
@@ -741,6 +777,10 @@ pub(crate) struct SimState {
     /// associative; a fixed fold order makes the sums bit-stable).
     /// Lineage-healing charges land in the *producer* stage's bucket.
     pub(crate) stage_stats: Vec<FaultStats>,
+    /// Every lineage re-execution paid this run, in detection order —
+    /// recorded unconditionally (not just when tracing) so journal
+    /// checkpoints carry what a restored stage must re-emit.
+    pub(crate) lineage_log: Vec<crate::journal::LineageHit>,
 }
 
 impl SimState {
@@ -765,6 +805,7 @@ impl SimState {
                 ..Default::default()
             },
             stage_stats: vec![FaultStats::default(); n],
+            lineage_log: Vec::new(),
         }
     }
 
@@ -955,6 +996,14 @@ pub(crate) fn sim_stage(
                 bucket.wasted_gb_s += wasted;
                 bucket.recovery_delay_s += reexec;
                 recovery = recovery.max(reexec);
+                state.lineage_log.push(crate::journal::LineageHit {
+                    reader_stage: s.0,
+                    src_stage: src.0,
+                    src_task: tp,
+                    corrupt: kind == ObjectFaultKind::Corruption,
+                    detect_at: ready,
+                    reexec_s: reexec,
+                });
                 if obs.is_enabled() {
                     let name = match kind {
                         ObjectFaultKind::Loss => "fault.object_lost",
@@ -1449,7 +1498,7 @@ pub(crate) fn finish_pass(
 /// reserving a slot (graded as a warning by the race checker, not an
 /// error).
 #[allow(clippy::too_many_arguments)]
-fn slot_pair(
+pub(crate) fn slot_pair(
     obs: &Recorder,
     srv: u32,
     lane: u32,
@@ -1473,7 +1522,7 @@ fn slot_pair(
 }
 
 /// Static label of an [`AttemptOutcome`] for telemetry attributes.
-fn outcome_label(outcome: AttemptOutcome) -> &'static str {
+pub(crate) fn outcome_label(outcome: AttemptOutcome) -> &'static str {
     match outcome {
         AttemptOutcome::Completed => "completed",
         AttemptOutcome::Crashed => "crashed",
@@ -1483,7 +1532,7 @@ fn outcome_label(outcome: AttemptOutcome) -> &'static str {
 }
 
 /// Static label of a [`Medium`] for telemetry counter series.
-fn medium_label(medium: Medium) -> &'static str {
+pub(crate) fn medium_label(medium: Medium) -> &'static str {
     match medium {
         Medium::SharedMemory => "shared-memory",
         Medium::Redis => "redis",

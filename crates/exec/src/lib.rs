@@ -36,6 +36,7 @@ pub mod error;
 pub mod explore;
 pub mod faults;
 pub mod groundtruth;
+pub mod journal;
 pub mod metrics;
 pub mod multi;
 pub mod profile;
@@ -55,6 +56,12 @@ pub use faults::{
     FaultEvent, FaultPlan, FaultRates, FaultStats, RecoveryPolicy, ReschedulingContext,
 };
 pub use groundtruth::{ExecConfig, GroundTruth};
+pub use journal::{
+    compact_journal, cross_check, decode_journal, recover, schedule_fingerprint,
+    try_simulate_adaptive_journaled, try_simulate_with_faults_journaled, validate_journal,
+    DecodedJournal, EngineKind, JournalRecord, JournalSession, JournalWriter, LineageHit,
+    ResumedJob, StageCheckpoint, TornReason, TornTail,
+};
 pub use metrics::JobMetrics;
 pub use profile::profile_job;
 pub use runner::LocalRuntime;

@@ -21,6 +21,7 @@
 
 use crate::error::ExecError;
 use crate::faults::{AttemptOutcome, AttemptRecord, FaultPlan, FaultStats, RecoveryPolicy};
+use crate::journal::{EngineKind, JournalSession, JOURNAL_SEED};
 use ditto_cluster::{RuntimeMonitor, TaskRecord};
 use ditto_core::Schedule;
 use ditto_dag::{EdgeKind, StageId};
@@ -35,6 +36,9 @@ use std::time::{Duration, Instant};
 /// total bytes read, and the external partition keys read (the task's
 /// lineage).
 type GatheredInputs = (BTreeMap<String, Table>, u64, Vec<String>);
+/// One task's outcome: the final-stage partial (if any), the winning
+/// attempt epoch, and the output checksum that names its object commit.
+type TaskOutcome = (Option<Table>, u32, u64);
 
 /// Result of a local run.
 #[derive(Debug)]
@@ -115,8 +119,52 @@ impl LocalRuntime {
         schedule: &Schedule,
         dataplane: &DataPlane,
     ) -> Result<RunOutput, ExecError> {
+        self.try_run_inner(plan, db, schedule, dataplane, None)
+    }
+
+    /// [`Self::try_run`] with a control-plane write-ahead journal: job
+    /// admission and the schedule commit journal before any task starts,
+    /// and each stage barrier journals its tasks' faulted-attempt history
+    /// plus an object commit per task (`value` = [`checksum64`] of the
+    /// task's encoded output) *before* the next stage launches. Physical
+    /// re-execution after a coordinator crash is at-least-once; the
+    /// session's [`CommitLedger`] deduplicates re-delivered commits by
+    /// `(object, attempt_epoch)` — and a same-epoch commit whose checksum
+    /// differs from the journaled one fails the run rather than publish a
+    /// second version of an object.
+    ///
+    /// [`checksum64`]: ditto_storage::checksum64
+    /// [`CommitLedger`]: ditto_storage::CommitLedger
+    pub fn try_run_journaled(
+        &self,
+        plan: &QueryPlan,
+        db: &Database,
+        schedule: &Schedule,
+        dataplane: &DataPlane,
+        session: &mut JournalSession,
+    ) -> Result<RunOutput, ExecError> {
+        self.try_run_inner(plan, db, schedule, dataplane, Some(session))
+    }
+
+    fn try_run_inner(
+        &self,
+        plan: &QueryPlan,
+        db: &Database,
+        schedule: &Schedule,
+        dataplane: &DataPlane,
+        mut session: Option<&mut JournalSession>,
+    ) -> Result<RunOutput, ExecError> {
         let dag = &plan.dag;
         schedule.validate(dag).map_err(ExecError::InvalidSchedule)?;
+        if let Some(j) = session.as_deref_mut() {
+            j.begin(
+                dag.num_stages() as u32,
+                dag.num_edges() as u32,
+                EngineKind::Runner,
+                schedule,
+                &ditto_obs::Recorder::disabled(),
+            )?;
+        }
         // One knob bounds both recovery paths: the storage read-retry
         // policy is derived from the task-level RecoveryPolicy, so a run
         // configured for N task retries also gets bounded, backed-off
@@ -149,7 +197,7 @@ impl LocalRuntime {
             let attempts_ref = &attempts;
             let stats_ref = &stats;
             let recovered_ref = &recovered;
-            let results: Vec<Result<Option<Table>, ExecError>> =
+            let results: Vec<Result<TaskOutcome, ExecError>> =
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = (0..d)
                         .map(|t| {
@@ -174,9 +222,26 @@ impl LocalRuntime {
                         .collect()
                 });
             let mut partials = Vec::new();
+            let mut commits: Vec<(u32, u64)> = Vec::with_capacity(d as usize);
             for r in results {
-                if let Some(table) = r? {
+                let (table, epoch, value) = r?;
+                commits.push((epoch, value));
+                if let Some(table) = table {
                     partials.push(table);
+                }
+            }
+            if let Some(j) = session.as_deref_mut() {
+                // Write-ahead at the stage barrier: the journal holds this
+                // stage's attempts and commits before the next launches.
+                let stage_attempts: Vec<AttemptRecord> = attempts
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .iter()
+                    .filter(|a| a.stage == s.0)
+                    .copied()
+                    .collect();
+                for (t, &(epoch, value)) in commits.iter().enumerate() {
+                    j.record_physical_task(s.0, t as u32, epoch, value, &stage_attempts)?;
                 }
             }
             if is_final {
@@ -206,7 +271,8 @@ impl LocalRuntime {
 
     /// One task: gather inputs, evaluate the stage operator (under fault
     /// injection and recovery), scatter outputs. Returns the output table
-    /// for final-stage tasks.
+    /// for final-stage tasks, the winning attempt epoch, and the commit
+    /// checksum of the encoded output (the journal's object-commit value).
     #[allow(clippy::too_many_arguments)]
     fn run_task(
         &self,
@@ -225,7 +291,7 @@ impl LocalRuntime {
         attempts_log: &Mutex<Vec<AttemptRecord>>,
         stats: &Mutex<FaultStats>,
         recovered: &Mutex<BTreeSet<(u32, u32)>>,
-    ) -> Result<Option<Table>, ExecError> {
+    ) -> Result<TaskOutcome, ExecError> {
         let launch = job_start.elapsed().as_secs_f64();
         let my_server = schedule.placement[s.index()].server_of_task(t).index();
         let server = ditto_cluster::ServerId(my_server as u32);
@@ -374,7 +440,11 @@ impl LocalRuntime {
             });
         }
 
-        Ok(is_final.then_some(out))
+        // Evaluation is deterministic, so the encoded output — and its
+        // commit checksum — is identical across re-executions: the
+        // journal's exactly-once conflict check has teeth.
+        let value = ditto_storage::checksum64(&out.encode(), JOURNAL_SEED);
+        Ok((is_final.then_some(out), attempt, value))
     }
 
     /// Gather every input partition of task `(s, t)`.
@@ -983,6 +1053,104 @@ mod tests {
                 attempts: 3
             }
         );
+    }
+
+    #[test]
+    fn journaled_run_commits_exactly_once_across_a_crash() {
+        use crate::journal::{decode_journal, validate_journal, JournalRecord};
+        let db = Database::generate(ScaleConfig::with_sf(0.2));
+        let plan = Query::Q1.prepared_plan(&db);
+        let model = JobTimeModel::from_rates(&plan.dag, &RateConfig::default());
+        let free = vec![8u32, 8];
+        let rm = ResourceManager::from_free_slots(free.clone());
+        let schedule = EvenSplitScheduler.schedule(&SchedulingContext {
+            dag: &plan.dag,
+            model: &model,
+            resources: &rm,
+            objective: Objective::Jct,
+        });
+        let runtime = LocalRuntime {
+            faults: FaultPlan::from_events(vec![crate::faults::FaultEvent::TaskCrash {
+                stage: StageId(0),
+                task: 0,
+                attempt: 0,
+                at_fraction: 0.5,
+            }]),
+            recovery: RecoveryPolicy::default(),
+            ..Default::default()
+        };
+        let mut clean = JournalSession::fresh(None);
+        let base = runtime
+            .try_run_journaled(
+                &plan,
+                &db,
+                &schedule,
+                &DataPlane::new(Medium::S3, free.len()),
+                &mut clean,
+            )
+            .unwrap();
+        let records = decode_journal(clean.durable_bytes()).unwrap().records;
+        let v = validate_journal(&records);
+        assert!(v.is_empty(), "runner journal validates clean: {v:?}");
+        let n_commits = records
+            .iter()
+            .filter(|r| matches!(r, JournalRecord::ObjectCommit { .. }))
+            .count() as u32;
+        let total_tasks: u32 = schedule.dop.iter().sum();
+        assert_eq!(n_commits, total_tasks, "one commit per task");
+        assert!(
+            records
+                .iter()
+                .any(|r| matches!(r, JournalRecord::TaskAttempt { .. })),
+            "the injected crash's attempt history is journaled"
+        );
+        // Crash the coordinator mid-journal; the resumed run re-executes
+        // physically but every re-delivered commit deduplicates.
+        let total = clean.records_written();
+        for k in [2, total / 2, total - 1] {
+            let mut armed = JournalSession::fresh(Some(k));
+            let err = runtime
+                .try_run_journaled(
+                    &plan,
+                    &db,
+                    &schedule,
+                    &DataPlane::new(Medium::S3, free.len()),
+                    &mut armed,
+                )
+                .unwrap_err();
+            assert!(matches!(err, ExecError::CoordinatorCrash { at_record } if at_record == k));
+            let mut resumed = JournalSession::resume(armed.durable_bytes()).unwrap();
+            let out = runtime
+                .try_run_journaled(
+                    &plan,
+                    &db,
+                    &schedule,
+                    &DataPlane::new(Medium::S3, free.len()),
+                    &mut resumed,
+                )
+                .unwrap();
+            assert_eq!(
+                out.result.encode(),
+                base.result.encode(),
+                "crash at record {k}: the answer is byte-identical"
+            );
+            let recs = decode_journal(resumed.durable_bytes()).unwrap().records;
+            let final_commits = recs
+                .iter()
+                .filter(|r| matches!(r, JournalRecord::ObjectCommit { .. }))
+                .count() as u32;
+            assert_eq!(
+                final_commits, total_tasks,
+                "crash at record {k}: every task commits exactly once"
+            );
+            assert_eq!(
+                resumed.deduped(),
+                resumed.replayed_commits(),
+                "crash at record {k}: every durable commit deduplicated on re-delivery"
+            );
+            let v = validate_journal(&recs);
+            assert!(v.is_empty(), "crash at record {k}: {v:?}");
+        }
     }
 
     #[test]

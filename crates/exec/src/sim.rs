@@ -46,7 +46,7 @@ pub fn simulate(dag: &JobDag, schedule: &Schedule, gt: &GroundTruth) -> (Executi
 /// panicking on an invalid schedule or cyclic DAG.
 ///
 /// Both are thin wrappers over the fault-aware engine
-/// ([`try_simulate_with_faults`]) with an empty [`FaultPlan`] — the
+/// ([`crate::try_simulate_with_faults`]) with an empty [`FaultPlan`] — the
 /// fault-free path reproduces the historical simulator bit-for-bit.
 pub fn try_simulate(
     dag: &JobDag,

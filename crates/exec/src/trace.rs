@@ -311,6 +311,7 @@ impl ExecutionTrace {
             args.insert("applied".to_string(), uint(r.applied as u64));
             args.insert("risk_penalty".to_string(), num(r.risk_penalty));
             args.insert("audit_clean".to_string(), uint(r.audit_clean as u64));
+            args.insert("decision_seq".to_string(), uint(r.decision_seq));
             args.insert("corr_read".to_string(), num(r.corrections.read));
             args.insert("corr_compute".to_string(), num(r.corrections.compute));
             args.insert("corr_write".to_string(), num(r.corrections.write));

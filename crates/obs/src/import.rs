@@ -50,6 +50,7 @@ const KNOWN_EVENTS: &[&str] = &[
     "sched.merge",
     "drift.detected",
     "predictor.sample",
+    "recovery.resume",
 ];
 
 /// Known attribute keys, for the same interning reason.
@@ -81,6 +82,12 @@ const KNOWN_KEYS: &[&str] = &[
     "risk_penalty",
     "audit_clean",
     "failed_server",
+    "decision_seq",
+    "resumed_stages",
+    "replayed_commits",
+    "replayed_replans",
+    "torn",
+    "torn_at",
 ];
 
 fn intern(name: &str, table: &[&'static str]) -> Option<&'static str> {

@@ -67,8 +67,10 @@ fn required_args(name: &str) -> Option<&'static [&'static str]> {
             "applied",
             "risk_penalty",
             "audit_clean",
+            "decision_seq",
         ]),
-        "sched.failover" => Some(&["failed_server", "at_time", "suffix_stages"]),
+        "sched.failover" => Some(&["failed_server", "at_time", "suffix_stages", "decision_seq"]),
+        "recovery.resume" => Some(&["resumed_stages", "replayed_commits", "torn"]),
         "fault.object_lost" | "fault.object_corrupt" => Some(&["stage", "task", "reader_stage"]),
         "recovery.lineage_reexec" => Some(&["stage", "task", "reexec_s"]),
         "drift.detected" => Some(&["stage", "factor", "samples"]),

@@ -258,6 +258,9 @@ struct Inner {
 pub struct Recorder {
     enabled: bool,
     epoch: Instant,
+    /// When set, [`Recorder::wall_now`] dispenses deterministic virtual
+    /// microsecond ticks instead of reading the real clock.
+    virtual_clock: Option<std::sync::atomic::AtomicU64>,
     inner: Mutex<Inner>,
     metrics: MetricsRegistry,
 }
@@ -286,8 +289,24 @@ impl Recorder {
         Recorder {
             enabled: true,
             epoch: Instant::now(),
+            virtual_clock: None,
             inner: Mutex::new(Inner::default()),
             metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// A recording recorder whose wall clock is a deterministic virtual
+    /// counter: every [`Recorder::wall_now`] call returns the next
+    /// microsecond tick. Sim-clock timestamps are untouched; only
+    /// wall-clock instrumentation (the scheduler spans) becomes
+    /// reproducible, so two identical runs export byte-identical
+    /// artifacts. Ordering between calls is preserved — ticks are
+    /// strictly increasing — but durations no longer measure real time,
+    /// so never use this recorder for overhead benchmarks.
+    pub fn deterministic() -> Self {
+        Recorder {
+            virtual_clock: Some(std::sync::atomic::AtomicU64::new(0)),
+            ..Recorder::new()
         }
     }
 
@@ -307,8 +326,16 @@ impl Recorder {
 
     /// Wall-clock seconds since the recorder's creation — the trace
     /// timestamp for instrumentation without a sim clock (the scheduler).
+    /// On a [`Recorder::deterministic`] recorder this is a virtual
+    /// microsecond tick instead.
     pub fn wall_now(&self) -> f64 {
-        self.epoch.elapsed().as_secs_f64()
+        match &self.virtual_clock {
+            Some(ticks) => {
+                let t = ticks.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                t as f64 * 1e-6
+            }
+            None => self.epoch.elapsed().as_secs_f64(),
+        }
     }
 
     /// Name a track group (shown as the process name in Chrome).

@@ -1,0 +1,122 @@
+//! Exactly-once object-commit ledger.
+//!
+//! Control-plane crash recovery (see `ditto-exec::journal`) replays the
+//! durable prefix of a write-ahead journal and then re-executes whatever
+//! work had not committed. Re-execution is *at-least-once*: a stage whose
+//! object commits were durable but whose completion record was torn off
+//! the journal tail runs again and re-delivers the same objects. The
+//! [`CommitLedger`] turns that into *exactly-once commit* semantics: each
+//! object commit is keyed by `(object, attempt_epoch)` and carries the
+//! 64-bit value fingerprint of what was committed. A re-delivered commit
+//! with the same fingerprint is a [`CommitOutcome::Duplicate`] (counted,
+//! not re-journaled); the same key with a *different* fingerprint is a
+//! [`CommitOutcome::Conflict`] — determinism was violated and recovery
+//! must fail loudly rather than silently pick a side.
+//!
+//! Both engines use it: the simulator fingerprints an object by the bit
+//! pattern of its commit instant (the simulation is deterministic, so the
+//! instant names the object's content), the physical runtime by the
+//! [`checksum64`](crate::checksum64) of the encoded output table.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// What happened when a commit was offered to the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// First time this `(object, epoch)` was seen; the commit is new and
+    /// should be journaled.
+    Committed,
+    /// Same `(object, epoch)` and the same value fingerprint: a benign
+    /// re-delivery from at-least-once re-execution. Not re-journaled.
+    Duplicate,
+    /// Same `(object, epoch)` but a *different* value fingerprint —
+    /// re-execution produced different bytes than the journaled commit.
+    Conflict {
+        /// Fingerprint recorded by the original commit.
+        expected: u64,
+        /// Fingerprint of the conflicting re-delivery.
+        actual: u64,
+    },
+}
+
+/// Thread-safe exactly-once commit ledger keyed by
+/// `(object key, attempt epoch)`.
+#[derive(Debug, Default)]
+pub struct CommitLedger {
+    entries: Mutex<BTreeMap<(String, u32), u64>>,
+}
+
+impl CommitLedger {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offer a commit of `key` at `epoch` with value fingerprint
+    /// `value`. See [`CommitOutcome`] for the three possible answers.
+    pub fn commit(&self, key: &str, epoch: u32, value: u64) -> CommitOutcome {
+        let mut entries = self.entries.lock().expect("commit ledger poisoned");
+        match entries.get(&(key.to_string(), epoch)) {
+            Some(&expected) if expected == value => CommitOutcome::Duplicate,
+            Some(&expected) => CommitOutcome::Conflict {
+                expected,
+                actual: value,
+            },
+            None => {
+                entries.insert((key.to_string(), epoch), value);
+                CommitOutcome::Committed
+            }
+        }
+    }
+
+    /// Highest committed attempt epoch of `key`, if any commit exists.
+    pub fn latest_epoch(&self, key: &str) -> Option<u32> {
+        let entries = self.entries.lock().expect("commit ledger poisoned");
+        entries
+            .keys()
+            .filter(|(k, _)| k == key)
+            .map(|&(_, e)| e)
+            .max()
+    }
+
+    /// Number of distinct committed `(object, epoch)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("commit ledger poisoned").len()
+    }
+
+    /// Whether no commits have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_commit_then_duplicate_then_conflict() {
+        let ledger = CommitLedger::new();
+        assert_eq!(ledger.commit("s0.t0", 0, 42), CommitOutcome::Committed);
+        assert_eq!(ledger.commit("s0.t0", 0, 42), CommitOutcome::Duplicate);
+        assert_eq!(
+            ledger.commit("s0.t0", 0, 43),
+            CommitOutcome::Conflict {
+                expected: 42,
+                actual: 43
+            }
+        );
+        assert_eq!(ledger.len(), 1);
+    }
+
+    #[test]
+    fn epochs_are_independent_commits() {
+        let ledger = CommitLedger::new();
+        assert_eq!(ledger.commit("s1.t2", 0, 7), CommitOutcome::Committed);
+        assert_eq!(ledger.commit("s1.t2", 1, 9), CommitOutcome::Committed);
+        assert_eq!(ledger.latest_epoch("s1.t2"), Some(1));
+        assert_eq!(ledger.latest_epoch("s9.t9"), None);
+        assert_eq!(ledger.len(), 2);
+    }
+}

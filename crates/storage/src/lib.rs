@@ -23,6 +23,7 @@
 //!   and Redis in §6.2/§6.3.
 
 pub mod checksum;
+pub mod commit;
 pub mod dataplane;
 pub mod lineage;
 pub mod medium;
@@ -30,6 +31,7 @@ pub mod object_store;
 pub mod sharedmem;
 
 pub use checksum::checksum64;
+pub use commit::{CommitLedger, CommitOutcome};
 pub use dataplane::{partition_key, DataPlane, ReadRetryPolicy, ReadRetryStats, TransferLedger};
 pub use lineage::{LineageIndex, Provenance};
 pub use medium::{CostModel, Medium, TransferModel};

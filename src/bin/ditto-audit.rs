@@ -8,6 +8,8 @@
 //! ditto-audit --cost-budget 5e6 job.json  # also check a GB·s budget
 //! ditto-audit race trace.jsonl            # race-check a trace artifact
 //! ditto-audit race --json --capacities 12,10 trace.json
+//! ditto-audit journal run.wal             # certify a crash-recovery journal
+//! ditto-audit journal --trace trace.json run.wal   # + cross-check vs trace
 //! ```
 //!
 //! Runs the full certificate chain of `ditto_audit` on the schedule the
@@ -21,6 +23,14 @@
 //! artifact (JSONL or Chrome JSON, auto-detected), rebuilds the
 //! happens-before graph from its `hb.*` events, and reports ordering
 //! violations — same exit-code contract.
+//!
+//! The `journal` subcommand decodes a control-plane write-ahead journal
+//! (`DITTOWAL`), reports its record census and any torn tail with exact
+//! record-index provenance, runs the structural invariants
+//! (single admission, exactly-once commits, monotonic decision sequence),
+//! and with `--trace` cross-checks journaled commits and decisions
+//! against a recorded trace artifact. Exits 0 iff the journal certifies
+//! clean, 1 on findings, 2 on undecodable input.
 
 use ditto::jobspec::JobSpec;
 use ditto_audit::{AuditOptions, RaceOptions};
@@ -31,6 +41,10 @@ fn main() {
     if args.first().map(String::as_str) == Some("race") {
         args.remove(0);
         race_main(args);
+    }
+    if args.first().map(String::as_str) == Some("journal") {
+        args.remove(0);
+        journal_main(args);
     }
     let json = take_flag(&mut args, "--json");
     let deadline = take_value(&mut args, "--deadline");
@@ -169,6 +183,137 @@ fn race_main(mut args: Vec<String>) -> ! {
         print!("{}", report.render());
     }
     std::process::exit(if report.is_clean() { 0 } else { 1 });
+}
+
+/// `ditto-audit journal [--json] [--trace FILE] <journal.wal>` — never
+/// returns. Certifies a control-plane write-ahead journal: decode +
+/// torn-tail provenance, structural invariants, and (with `--trace`) the
+/// journal ↔ trace cross-check.
+fn journal_main(mut args: Vec<String>) -> ! {
+    let json = take_flag(&mut args, "--json");
+    let trace_path = take_raw(&mut args, "--trace");
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: ditto-audit journal [--json] [--trace trace.jsonl|trace.json] <journal.wal>");
+        std::process::exit(2);
+    }
+    let Some(path) = args.first() else {
+        eprintln!("ditto-audit journal: need a journal file");
+        std::process::exit(2);
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("ditto-audit journal: cannot read {path:?}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let decoded = match ditto_exec::decode_journal(&bytes) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("ditto-audit journal: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut findings = ditto_exec::validate_journal(&decoded.records);
+    let mut census: std::collections::BTreeMap<&'static str, u64> = std::collections::BTreeMap::new();
+    for rec in &decoded.records {
+        use ditto_exec::JournalRecord as R;
+        let kind = match rec {
+            R::JobAdmit { .. } => "job_admit",
+            R::ScheduleCommit { .. } => "schedule_commit",
+            R::ObjectCommit { .. } => "object_commit",
+            R::StageComplete(_) => "stage_complete",
+            R::Replan { .. } => "replan",
+            R::Failover { .. } => "failover",
+            R::TaskAttempt { .. } => "task_attempt",
+            R::JobComplete { .. } => "job_complete",
+            R::Snapshot(_) => "snapshot",
+        };
+        *census.entry(kind).or_insert(0) += 1;
+    }
+    if let Some(tp) = &trace_path {
+        let text = match std::fs::read_to_string(tp) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("ditto-audit journal: cannot read {tp:?}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let chrome = text.trim_start().starts_with('{') && text.contains("\"traceEvents\"");
+        let imported = if chrome {
+            ditto_obs::events_from_chrome(&text)
+        } else {
+            ditto_obs::events_from_jsonl(&text)
+        };
+        match imported {
+            Ok((trace, _)) => {
+                findings.extend(ditto_exec::cross_check(&decoded.records, &trace));
+            }
+            Err(e) => {
+                eprintln!("ditto-audit journal: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let clean = findings.is_empty();
+    if json {
+        use serde_json::{Map, Number, Value};
+        let uint = |v: u64| Value::Number(Number::PosInt(v));
+        let mut out = Map::new();
+        out.insert("records".into(), uint(decoded.records.len() as u64));
+        out.insert("durable_bytes".into(), uint(decoded.durable_len as u64));
+        let mut c = Map::new();
+        for (kind, n) in &census {
+            c.insert((*kind).into(), uint(*n));
+        }
+        out.insert("census".into(), Value::Object(c));
+        out.insert(
+            "torn".into(),
+            match decoded.torn {
+                Some(t) => {
+                    let mut tm = Map::new();
+                    tm.insert("at_record".into(), uint(t.at_record));
+                    tm.insert("byte_offset".into(), uint(t.byte_offset as u64));
+                    tm.insert("reason".into(), Value::String(t.reason.label().into()));
+                    Value::Object(tm)
+                }
+                None => Value::Null,
+            },
+        );
+        out.insert("cross_checked".into(), Value::Bool(trace_path.is_some()));
+        out.insert(
+            "findings".into(),
+            Value::Array(findings.iter().cloned().map(Value::String).collect()),
+        );
+        out.insert("clean".into(), Value::Bool(clean));
+        println!("{}", Value::Object(out));
+    } else {
+        println!(
+            "journal: {} records, {} durable bytes",
+            decoded.records.len(),
+            decoded.durable_len
+        );
+        for (kind, n) in &census {
+            println!("  {kind:<16} {n}");
+        }
+        match decoded.torn {
+            Some(t) => println!(
+                "torn tail: record {} at byte {} ({})",
+                t.at_record,
+                t.byte_offset,
+                t.reason.label()
+            ),
+            None => println!("torn tail: none"),
+        }
+        if clean {
+            println!("journal certified clean");
+        } else {
+            for f in &findings {
+                println!("FINDING: {f}");
+            }
+        }
+    }
+    std::process::exit(if clean { 0 } else { 1 });
 }
 
 fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
